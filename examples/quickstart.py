@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: build a HABF, compare it with a standard Bloom filter.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import HABF, BloomFilter, HABFParams, optimal_num_hashes
+from repro.metrics.fpr import false_positive_rate, weighted_fpr
+
+
+def main() -> None:
+    rng = random.Random(42)
+
+    # The set we want to represent (S) and the queries we know will miss (O).
+    positives = [f"user:{i}" for i in range(5_000)]
+    negatives = [f"visitor:{i}" for i in range(5_000)]
+    # Misidentifying some visitors is much more expensive than others
+    # (e.g. they trigger a slow fallback path).
+    costs = {key: rng.paretovariate(1.3) for key in negatives}
+
+    bits_per_key = 10.0
+    total_bits = int(bits_per_key * len(positives))
+
+    # --- Standard Bloom filter -------------------------------------------
+    bloom = BloomFilter(num_bits=total_bits, num_hashes=optimal_num_hashes(bits_per_key))
+    bloom.add_all(positives)
+
+    # --- HABF: same space budget, but aware of the negatives and costs ----
+    params = HABFParams(total_bits=total_bits, k=3, delta=0.25, cell_hash_bits=4)
+    habf = HABF.build(positives, negatives, costs, params=params)
+
+    # Both structures never miss a member.
+    assert all(key in habf for key in positives)
+    assert all(key in bloom for key in positives)
+
+    print(f"space budget          : {total_bits} bits ({bits_per_key} bits/key)")
+    print(f"Bloom  FPR            : {false_positive_rate(bloom, negatives):.4%}")
+    print(f"HABF   FPR            : {false_positive_rate(habf, negatives):.4%}")
+    print(f"Bloom  weighted FPR   : {weighted_fpr(bloom, negatives, costs):.4%}")
+    print(f"HABF   weighted FPR   : {weighted_fpr(habf, negatives, costs):.4%}")
+    stats = habf.construction_stats
+    print(
+        f"TPJO                  : {stats.initial_collisions} collisions, "
+        f"{stats.optimized} optimised, {stats.adjusted_positive_keys} keys re-hashed"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Collect the headline measured numbers quoted in EXPERIMENTS.md.
+
+Runs a compact version of the Fig. 10/11/12 comparisons (Shalla-like and
+YCSB-like workloads at the paper's 1.5 MB / 15 MB-equivalent budgets) plus the
+Fig. 13 skew sweep end points, and writes ``results/evidence.txt``.  The full
+per-figure series are produced by ``python -m repro.experiments.run_all``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.config import ExperimentConfig, PAPER_SHALLA_POSITIVES, PAPER_YCSB_POSITIVES, mb_to_bits_per_key
+from repro.experiments.registry import build_filter
+from repro.metrics.fpr import evaluate_filter
+from repro.metrics.timing import time_construction, time_queries
+from repro.workloads.zipf import assign_zipf_costs
+
+CONFIG = ExperimentConfig(
+    shalla_positives=4000,
+    shalla_negatives=3900,
+    ycsb_positives=4000,
+    ycsb_negatives=3700,
+    seed=1,
+)
+ALGOS = ("HABF", "f-HABF", "BF", "Xor", "WBF", "LBF", "SLBF", "Ada-BF")
+
+
+def section(lines, dataset, paper_positives, space_mb, skew):
+    bits_per_key = mb_to_bits_per_key(space_mb, paper_positives)
+    total_bits = int(bits_per_key * dataset.num_positives)
+    costs = assign_zipf_costs(dataset.negatives, skew, seed=1) if skew else None
+    weighted = dataset.with_costs(costs) if costs else dataset
+    label = f"zipf({skew})" if skew else "uniform"
+    lines.append(f"## {dataset.name} @ {space_mb} MB-equivalent ({bits_per_key:.2f} bits/key), costs={label}")
+    for name in ALGOS:
+        built, construction = time_construction(
+            lambda n=name: build_filter(n, weighted, total_bits, costs=costs, seed=1),
+            num_keys=dataset.num_positives,
+        )
+        query = time_queries(built, dataset.negatives[:1000] + dataset.positives[:1000])
+        ev = evaluate_filter(built, weighted)
+        lines.append(
+            f"  {name:10s} weightedFPR={ev.weighted_fpr:.5%} FPR={ev.fpr:.5%} FNR={ev.fnr:.3%} "
+            f"construct={construction.ns_per_key:9.0f} ns/key  query={query.ns_per_key:9.0f} ns/key"
+        )
+    lines.append("")
+
+
+def main() -> None:
+    out = Path("results")
+    out.mkdir(exist_ok=True)
+    lines = ["# Headline evidence (compact run; see run_all for full series)", ""]
+    shalla = CONFIG.shalla_dataset()
+    ycsb = CONFIG.ycsb_dataset()
+    section(lines, shalla, PAPER_SHALLA_POSITIVES, 1.5, skew=0.0)
+    section(lines, shalla, PAPER_SHALLA_POSITIVES, 1.5, skew=1.0)
+    section(lines, ycsb, PAPER_YCSB_POSITIVES, 15.0, skew=0.0)
+    section(lines, ycsb, PAPER_YCSB_POSITIVES, 15.0, skew=1.0)
+    text = "\n".join(lines)
+    (out / "evidence.txt").write_text(text)
+    print(text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim so `pip install -e .` works on environments without the
+`wheel` package (no-network offline boxes); all metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""Reproduction of "Hash Adaptive Bloom Filter" (Xie et al., ICDE 2021).
+
+The package is organised around the paper's architecture:
+
+* :mod:`repro.hashing` — the global hash-function family (Table II).
+* :mod:`repro.core` — BitArray, BloomFilter, HashExpressor, TPJO and HABF.
+* :mod:`repro.baselines` — Xor filter, Weighted Bloom filter and the learned
+  filters (LBF, SLBF, Ada-BF) the paper compares against.
+* :mod:`repro.workloads` — Shalla-like and YCSB-like key generators plus Zipf
+  cost distributions.
+* :mod:`repro.metrics` — weighted FPR, timing and memory measurement.
+* :mod:`repro.theory` — analytic FPR formulas and the paper's bounds.
+* :mod:`repro.experiments` — one runner per paper figure.
+* :mod:`repro.kvstore` — a small LSM-tree key-value store substrate showing the
+  motivating application (filters guarding level reads).
+
+Quickstart::
+
+    from repro import HABF
+    habf = HABF.build(positives=["a", "b"], negatives=["x", "y"], bits_per_key=12)
+    assert "a" in habf and "x" not in habf
+"""
+
+from repro.core.bloom import BloomFilter, optimal_num_hashes
+from repro.core.habf import HABF, FastHABF
+from repro.core.hash_expressor import HashExpressor
+from repro.core.params import HABFParams, SpaceBudget
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    ConstructionError,
+    DatasetError,
+    ReproError,
+    UnknownHashError,
+)
+from repro.hashing import GLOBAL_HASH_FAMILY, HashFamily, build_family
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HABF",
+    "FastHABF",
+    "BloomFilter",
+    "HashExpressor",
+    "HABFParams",
+    "SpaceBudget",
+    "optimal_num_hashes",
+    "GLOBAL_HASH_FAMILY",
+    "HashFamily",
+    "build_family",
+    "ReproError",
+    "ConfigurationError",
+    "ConstructionError",
+    "CapacityError",
+    "DatasetError",
+    "UnknownHashError",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Baseline filters the paper compares HABF against (Section V-A).
+
+Non-learned baselines:
+
+* :class:`~repro.baselines.xor_filter.XorFilter` — Graf & Lemire's Xor filter.
+* :class:`~repro.baselines.weighted_bloom.WeightedBloomFilter` — Bruck et al.'s
+  cost-aware Bloom filter with a cached cost list.
+
+Learned baselines (Kraska et al. LBF, Mitzenmacher SLBF, Dai & Shrivastava
+Ada-BF), built on a from-scratch numpy classifier:
+
+* :class:`~repro.baselines.learned.lbf.LearnedBloomFilter`
+* :class:`~repro.baselines.learned.slbf.SandwichedLearnedBloomFilter`
+* :class:`~repro.baselines.learned.adabf.AdaptiveLearnedBloomFilter`
+"""
+
+from repro.baselines.weighted_bloom import WeightedBloomFilter
+from repro.baselines.xor_filter import XorFilter
+from repro.baselines.learned.adabf import AdaptiveLearnedBloomFilter
+from repro.baselines.learned.lbf import LearnedBloomFilter
+from repro.baselines.learned.model import KeyScoreModel
+from repro.baselines.learned.slbf import SandwichedLearnedBloomFilter
+
+__all__ = [
+    "XorFilter",
+    "WeightedBloomFilter",
+    "KeyScoreModel",
+    "LearnedBloomFilter",
+    "SandwichedLearnedBloomFilter",
+    "AdaptiveLearnedBloomFilter",
+]

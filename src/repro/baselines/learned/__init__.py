@@ -1,0 +1,21 @@
+"""Learned-filter baselines (LBF, SLBF, Ada-BF) built on a numpy classifier.
+
+The paper's learned baselines use Keras GRU / MLP models trained on GPUs.
+Offline reproduction substitutes a from-scratch logistic-regression classifier
+over hashed character n-gram features (:class:`~repro.baselines.learned.model.KeyScoreModel`);
+see DESIGN.md §4 for why this preserves the comparisons that matter (score in
+[0, 1] per key, threshold + backup filter architecture, strong on structured
+keys, weak on random keys, far slower per key than hash-based filters).
+"""
+
+from repro.baselines.learned.adabf import AdaptiveLearnedBloomFilter
+from repro.baselines.learned.lbf import LearnedBloomFilter
+from repro.baselines.learned.model import KeyScoreModel
+from repro.baselines.learned.slbf import SandwichedLearnedBloomFilter
+
+__all__ = [
+    "KeyScoreModel",
+    "LearnedBloomFilter",
+    "SandwichedLearnedBloomFilter",
+    "AdaptiveLearnedBloomFilter",
+]

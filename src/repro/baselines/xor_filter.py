@@ -1,0 +1,184 @@
+"""Xor filter (Graf & Lemire, 2020) — the static non-learned baseline.
+
+An Xor filter stores an array ``B`` of ``c`` fingerprint slots split into
+three equal segments.  Each key maps to one slot per segment plus an
+``f``-bit fingerprint; construction solves ``B[h0] ^ B[h1] ^ B[h2] =
+fingerprint(key)`` for every key by peeling (repeatedly removing keys that are
+the only key mapping to some slot, then assigning in reverse order).  Queries
+recompute the three slots and the fingerprint and compare.
+
+The paper sizes the fingerprint as ``⌊b / 1.23 + 32/|S|⌋`` bits for a
+bits-per-key budget ``b``; the same sizing rule is used here so the Xor filter
+competes under the same space budget as every other method.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.hashing.base import Key, mix64, normalize_key
+from repro.hashing.primitives import xxhash
+
+_MASK64 = (1 << 64) - 1
+
+
+def fingerprint_bits_for_budget(bits_per_key: float, num_keys: int) -> int:
+    """Fingerprint size used by the paper for a given bits-per-key budget."""
+    if bits_per_key <= 0 or num_keys <= 0:
+        raise ConfigurationError("bits_per_key and num_keys must be positive")
+    return max(1, int(bits_per_key / 1.23 + 32 / num_keys))
+
+
+class XorFilter:
+    """A static Xor filter over a fixed key set.
+
+    Args:
+        keys: The (positive) key set to encode.  Duplicate keys are allowed and
+            deduplicated.
+        fingerprint_bits: Width of each fingerprint slot in bits.
+        seed: Construction seed; bumped automatically if peeling fails.
+    """
+
+    algorithm_name = "Xor"
+
+    def __init__(self, keys: Sequence[Key], fingerprint_bits: int = 8, seed: int = 1) -> None:
+        if fingerprint_bits < 1 or fingerprint_bits > 32:
+            raise ConfigurationError("fingerprint_bits must be between 1 and 32")
+        unique = list(dict.fromkeys(keys))
+        if not unique:
+            raise ConfigurationError("XorFilter needs at least one key")
+        self._fingerprint_bits = fingerprint_bits
+        self._fingerprint_mask = (1 << fingerprint_bits) - 1
+        self._num_keys = len(unique)
+        capacity = int(math.floor(1.23 * len(unique))) + 32
+        self._segment_length = max(1, (capacity + 2) // 3)
+        self._capacity = self._segment_length * 3
+        self._seed = seed
+        self._slots: List[int] = []
+        self._build(unique)
+
+    # ------------------------------------------------------------------ #
+    # Hashing
+    # ------------------------------------------------------------------ #
+    def _hash64(self, key: Key, seed: int) -> int:
+        return mix64(xxhash(normalize_key(key)) ^ (seed * 0x9E3779B97F4A7C15))
+
+    def _slots_for(self, key: Key, seed: int) -> Tuple[int, int, int]:
+        value = self._hash64(key, seed)
+        h0 = value % self._segment_length
+        h1 = self._segment_length + (mix64(value ^ 0x1234567) % self._segment_length)
+        h2 = 2 * self._segment_length + (mix64(value ^ 0x89ABCDE) % self._segment_length)
+        return h0, h1, h2
+
+    def _fingerprint(self, key: Key, seed: int) -> int:
+        fp = self._hash64(key, seed ^ 0x5F5F5F5F) & self._fingerprint_mask
+        # Avoid the all-zero fingerprint so that an empty filter rejects keys.
+        return fp if fp != 0 else 1
+
+    # ------------------------------------------------------------------ #
+    # Construction (peeling)
+    # ------------------------------------------------------------------ #
+    def _build(self, keys: List[Key]) -> None:
+        for attempt in range(64):
+            seed = self._seed + attempt
+            order = self._peel(keys, seed)
+            if order is not None:
+                self._assign(keys, order, seed)
+                self._seed = seed
+                return
+        raise CapacityError(
+            f"Xor filter peeling failed for {len(keys)} keys after 64 seeds"
+        )
+
+    def _peel(self, keys: List[Key], seed: int) -> Optional[List[Tuple[int, int]]]:
+        """Return a peel order of ``(key_index, slot)`` pairs, or None on failure."""
+        slot_count = [0] * self._capacity
+        slot_xor = [0] * self._capacity
+        key_slots: List[Tuple[int, int, int]] = []
+        for key_index, key in enumerate(keys):
+            slots = self._slots_for(key, seed)
+            key_slots.append(slots)
+            for slot in slots:
+                slot_count[slot] += 1
+                slot_xor[slot] ^= key_index
+
+        stack: List[Tuple[int, int]] = []
+        singles = [slot for slot in range(self._capacity) if slot_count[slot] == 1]
+        while singles:
+            slot = singles.pop()
+            if slot_count[slot] != 1:
+                continue
+            key_index = slot_xor[slot]
+            stack.append((key_index, slot))
+            for other in key_slots[key_index]:
+                slot_count[other] -= 1
+                slot_xor[other] ^= key_index
+                if slot_count[other] == 1:
+                    singles.append(other)
+        if len(stack) != len(keys):
+            return None
+        self._key_slots_cache = key_slots
+        return stack
+
+    def _assign(self, keys: List[Key], order: List[Tuple[int, int]], seed: int) -> None:
+        self._slots = [0] * self._capacity
+        for key_index, free_slot in reversed(order):
+            key = keys[key_index]
+            slots = self._key_slots_cache[key_index]
+            value = self._fingerprint(key, seed)
+            for slot in slots:
+                if slot != free_slot:
+                    value ^= self._slots[slot]
+            self._slots[free_slot] = value
+        del self._key_slots_cache
+
+    # ------------------------------------------------------------------ #
+    # Queries and accounting
+    # ------------------------------------------------------------------ #
+    def contains(self, key: Key) -> bool:
+        """Membership test: exact for encoded keys, small FPR otherwise."""
+        h0, h1, h2 = self._slots_for(key, self._seed)
+        expected = self._fingerprint(key, self._seed)
+        return (self._slots[h0] ^ self._slots[h1] ^ self._slots[h2]) == expected
+
+    def __contains__(self, key: Key) -> bool:
+        return self.contains(key)
+
+    @property
+    def fingerprint_bits(self) -> int:
+        """Width of each stored fingerprint."""
+        return self._fingerprint_bits
+
+    @property
+    def num_keys(self) -> int:
+        """Number of distinct keys encoded."""
+        return self._num_keys
+
+    def size_in_bits(self) -> int:
+        """Serialized size: ``capacity * fingerprint_bits``."""
+        return self._capacity * self._fingerprint_bits
+
+    def size_in_bytes(self) -> int:
+        """Serialized size in bytes (rounded up)."""
+        return (self.size_in_bits() + 7) // 8
+
+    def expected_fpr(self) -> float:
+        """Analytic FPR of an Xor filter: ``2^-fingerprint_bits``."""
+        return 2.0 ** (-self._fingerprint_bits)
+
+    @classmethod
+    def from_bits_per_key(
+        cls, keys: Sequence[Key], bits_per_key: float, seed: int = 1
+    ) -> "XorFilter":
+        """Build with the paper's fingerprint sizing rule for a space budget."""
+        unique = list(dict.fromkeys(keys))
+        bits = fingerprint_bits_for_budget(bits_per_key, len(unique))
+        return cls(unique, fingerprint_bits=min(32, bits), seed=seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"XorFilter(keys={self._num_keys}, fingerprint_bits={self._fingerprint_bits}, "
+            f"slots={self._capacity})"
+        )

@@ -1,0 +1,141 @@
+"""A compact bit vector backed by a ``bytearray``.
+
+Every filter in this package stores its membership bits in a :class:`BitArray`.
+The implementation favours clarity and exact space accounting over raw speed:
+the reproduction's timing experiments compare methods against each other, all
+of which share this same substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import ConfigurationError
+
+_POPCOUNT_TABLE = bytes(bin(i).count("1") for i in range(256))
+
+
+class BitArray:
+    """A fixed-length array of bits with set/test/clear and popcount support.
+
+    Args:
+        num_bits: Length of the array in bits; must be positive.
+    """
+
+    __slots__ = ("_num_bits", "_buffer")
+
+    def __init__(self, num_bits: int) -> None:
+        if num_bits <= 0:
+            raise ConfigurationError(f"BitArray size must be positive, got {num_bits}")
+        self._num_bits = num_bits
+        self._buffer = bytearray((num_bits + 7) // 8)
+
+    @classmethod
+    def from_indices(cls, num_bits: int, indices: Iterable[int]) -> "BitArray":
+        """Create an array of ``num_bits`` with the given ``indices`` set to 1."""
+        array = cls(num_bits)
+        for index in indices:
+            array.set(index)
+        return array
+
+    def __len__(self) -> int:
+        return self._num_bits
+
+    def _check(self, index: int) -> int:
+        if index < 0:
+            index += self._num_bits
+        if not 0 <= index < self._num_bits:
+            raise IndexError(f"bit index {index} out of range for {self._num_bits} bits")
+        return index
+
+    def set(self, index: int) -> None:
+        """Set the bit at ``index`` to 1."""
+        index = self._check(index)
+        self._buffer[index >> 3] |= 1 << (index & 7)
+
+    def clear(self, index: int) -> None:
+        """Set the bit at ``index`` to 0."""
+        index = self._check(index)
+        self._buffer[index >> 3] &= ~(1 << (index & 7)) & 0xFF
+
+    def test(self, index: int) -> bool:
+        """Return ``True`` if the bit at ``index`` is 1."""
+        index = self._check(index)
+        return bool(self._buffer[index >> 3] & (1 << (index & 7)))
+
+    def __getitem__(self, index: int) -> bool:
+        return self.test(index)
+
+    def __setitem__(self, index: int, value: object) -> None:
+        if value:
+            self.set(index)
+        else:
+            self.clear(index)
+
+    def set_all(self, indices: Iterable[int]) -> None:
+        """Set every bit listed in ``indices``."""
+        for index in indices:
+            self.set(index)
+
+    def test_all(self, indices: Iterable[int]) -> bool:
+        """Return ``True`` only if every bit listed in ``indices`` is 1."""
+        return all(self.test(index) for index in indices)
+
+    def count(self) -> int:
+        """Return the number of bits set to 1 (popcount)."""
+        return sum(_POPCOUNT_TABLE[byte] for byte in self._buffer)
+
+    def fill_ratio(self) -> float:
+        """Return the fraction of bits set to 1."""
+        return self.count() / self._num_bits
+
+    def reset(self) -> None:
+        """Clear every bit."""
+        for i in range(len(self._buffer)):
+            self._buffer[i] = 0
+
+    def copy(self) -> "BitArray":
+        """Return a deep copy of this array."""
+        clone = BitArray(self._num_bits)
+        clone._buffer[:] = self._buffer
+        return clone
+
+    def iter_set_bits(self) -> Iterator[int]:
+        """Yield the indices of all bits currently set to 1, in order."""
+        for byte_index, byte in enumerate(self._buffer):
+            if not byte:
+                continue
+            base = byte_index << 3
+            for offset in range(8):
+                if byte & (1 << offset):
+                    index = base + offset
+                    if index < self._num_bits:
+                        yield index
+
+    def to_bytes(self) -> bytes:
+        """Return the packed little-endian byte representation."""
+        return bytes(self._buffer)
+
+    @classmethod
+    def from_bytes(cls, num_bits: int, data: bytes) -> "BitArray":
+        """Rebuild an array from :meth:`to_bytes` output."""
+        array = cls(num_bits)
+        expected = (num_bits + 7) // 8
+        if len(data) != expected:
+            raise ConfigurationError(
+                f"expected {expected} bytes for {num_bits} bits, got {len(data)}"
+            )
+        array._buffer[:] = data
+        return array
+
+    def size_in_bytes(self) -> int:
+        """Return the storage footprint of the bit payload in bytes."""
+        return len(self._buffer)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitArray):
+            return NotImplemented
+        return self._num_bits == other._num_bits and self._buffer == other._buffer
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BitArray(num_bits={self._num_bits}, set={self.count()})"

@@ -1,0 +1,185 @@
+"""Standard Bloom filter with a per-key hash-selection hook.
+
+This is the substrate the paper builds HABF on.  Besides the classic
+``add``/``contains`` interface it exposes:
+
+* ``add_with_selection`` / ``contains_with_selection`` — insert or query a key
+  with an explicit subset of the global hash family, which is exactly the hook
+  HABF's two-round query and the TPJO optimizer need;
+* ``bit_positions`` — the positions a key maps to under a given selection,
+  used by TPJO's runtime indexes ``V`` and ``Γ``;
+* ``clear_position`` — used by TPJO when an adjusted key abandons a bit that
+  (per the ``V`` index) nothing else maps to.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.core.bitarray import BitArray
+from repro.errors import ConfigurationError
+from repro.hashing.base import Key
+from repro.hashing.double_hashing import DoubleHashFamily
+from repro.hashing.registry import GLOBAL_HASH_FAMILY, HashFamily
+
+FamilyLike = Union[HashFamily, DoubleHashFamily]
+
+
+def optimal_num_hashes(bits_per_key: float) -> int:
+    """Return the FPR-optimal hash count ``k = ln2 · b`` (at least 1)."""
+    if bits_per_key <= 0:
+        raise ConfigurationError("bits_per_key must be positive")
+    return max(1, int(round(math.log(2) * bits_per_key)))
+
+
+class BloomFilter:
+    """A standard Bloom filter over a configurable hash family.
+
+    Args:
+        num_bits: Size ``m`` of the underlying bit array.
+        num_hashes: Number of hash functions ``k`` applied per key.
+        family: Hash family to draw functions from; defaults to the paper's
+            Table II family.  A :class:`~repro.hashing.double_hashing.DoubleHashFamily`
+            may be supplied for Kirsch–Mitzenmacher double hashing.
+        selection: Initial hash selection ``H0`` as indexes into ``family``;
+            defaults to the first ``num_hashes`` members.
+    """
+
+    def __init__(
+        self,
+        num_bits: int,
+        num_hashes: int,
+        family: Optional[FamilyLike] = None,
+        selection: Optional[Sequence[int]] = None,
+    ) -> None:
+        if num_bits <= 0:
+            raise ConfigurationError("num_bits must be positive")
+        if num_hashes < 1:
+            raise ConfigurationError("num_hashes must be at least 1")
+        self._family: FamilyLike = family if family is not None else GLOBAL_HASH_FAMILY
+        if num_hashes > len(self._family):
+            raise ConfigurationError(
+                f"num_hashes={num_hashes} exceeds hash family size {len(self._family)}"
+            )
+        self._bits = BitArray(num_bits)
+        self._num_hashes = num_hashes
+        if selection is None:
+            self._initial_selection: List[int] = self._family.initial_selection(num_hashes)
+        else:
+            self._initial_selection = list(selection)
+            if len(self._initial_selection) != num_hashes:
+                raise ConfigurationError(
+                    "selection length must equal num_hashes "
+                    f"({len(self._initial_selection)} != {num_hashes})"
+                )
+        self._num_items = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_bits(self) -> int:
+        """Size ``m`` of the bit array."""
+        return len(self._bits)
+
+    @property
+    def num_hashes(self) -> int:
+        """Number of hash functions ``k`` per key."""
+        return self._num_hashes
+
+    @property
+    def family(self) -> FamilyLike:
+        """The hash family this filter draws from."""
+        return self._family
+
+    @property
+    def initial_selection(self) -> List[int]:
+        """The default hash selection ``H0`` (indexes into the family)."""
+        return list(self._initial_selection)
+
+    @property
+    def num_items(self) -> int:
+        """Number of keys inserted so far."""
+        return self._num_items
+
+    @property
+    def bits(self) -> BitArray:
+        """The underlying bit array (shared, not copied)."""
+        return self._bits
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set to 1."""
+        return self._bits.fill_ratio()
+
+    def size_in_bits(self) -> int:
+        """Space used by the bit payload, in bits."""
+        return len(self._bits)
+
+    def size_in_bytes(self) -> int:
+        """Space used by the bit payload, in bytes."""
+        return self._bits.size_in_bytes()
+
+    # ------------------------------------------------------------------ #
+    # Hashing helpers
+    # ------------------------------------------------------------------ #
+    def bit_positions(self, key: Key, selection: Optional[Sequence[int]] = None) -> List[int]:
+        """Return the bit positions ``key`` maps to under ``selection`` (or H0)."""
+        indexes = self._initial_selection if selection is None else selection
+        modulus = len(self._bits)
+        return [self._family[i](key, modulus) for i in indexes]
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, key: Key) -> None:
+        """Insert ``key`` using the initial hash selection ``H0``."""
+        self.add_with_selection(key, self._initial_selection)
+
+    def add_all(self, keys: Iterable[Key]) -> None:
+        """Insert every key in ``keys`` using ``H0``."""
+        for key in keys:
+            self.add(key)
+
+    def add_with_selection(self, key: Key, selection: Sequence[int]) -> None:
+        """Insert ``key`` using an explicit hash selection."""
+        for position in self.bit_positions(key, selection):
+            self._bits.set(position)
+        self._num_items += 1
+
+    def set_position(self, position: int) -> None:
+        """Set an individual bit; used by the TPJO optimizer."""
+        self._bits.set(position)
+
+    def clear_position(self, position: int) -> None:
+        """Clear an individual bit; only safe when the caller knows (via the
+        ``V`` index) that no other key maps to it."""
+        self._bits.clear(position)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def contains(self, key: Key) -> bool:
+        """Membership test with the initial hash selection ``H0``."""
+        return self.contains_with_selection(key, self._initial_selection)
+
+    def contains_with_selection(self, key: Key, selection: Sequence[int]) -> bool:
+        """Membership test with an explicit hash selection."""
+        modulus = len(self._bits)
+        return all(self._bits.test(self._family[i](key, modulus)) for i in selection)
+
+    def __contains__(self, key: Key) -> bool:
+        return self.contains(key)
+
+    def expected_fpr(self) -> float:
+        """Analytic FPR estimate ``(1 - e^{-kn/m})^k`` for the current load."""
+        if self._num_items == 0:
+            return 0.0
+        exponent = -self._num_hashes * self._num_items / len(self._bits)
+        return (1.0 - math.exp(exponent)) ** self._num_hashes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BloomFilter(num_bits={len(self._bits)}, k={self._num_hashes}, "
+            f"items={self._num_items})"
+        )

@@ -1,0 +1,163 @@
+"""Configuration objects for HABF and the experiment harness.
+
+The paper tunes three structural parameters (Section V-D):
+
+* the space-allocation ratio ``∆`` between the HashExpressor and the Bloom
+  filter (optimum 0.25, i.e. a 1:4 split),
+* the number of hash functions ``k`` per key (optimum 3),
+* the HashExpressor cell size in bits of ``hashindex`` (optimum 4).
+
+:class:`HABFParams` bundles those choices together with the total space budget
+so every experiment and example constructs filters the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class HABFParams:
+    """Structural parameters of a :class:`~repro.core.habf.HABF` filter.
+
+    Attributes:
+        total_bits: Total space budget in bits, shared between the Bloom filter
+            and the HashExpressor.
+        k: Number of hash functions applied per key.
+        delta: Space-allocation ratio ``∆ = ∆1/∆2`` between HashExpressor (∆1)
+            and Bloom filter (∆2).  ``0`` degenerates to a plain Bloom filter.
+        cell_hash_bits: Bits of a HashExpressor cell devoted to ``hashindex``
+            (the "cell size" of Fig. 9(b)); the cell additionally stores a
+            1-bit ``endbit``.
+        seed: Seed for the deterministic pseudo-randomness used during
+            construction (initial-selection shuffling and tie-breaking).
+        max_queue_passes: Safety bound on how many times a re-enqueued
+            collision key may be revisited, preventing pathological loops on
+            adversarial inputs.
+    """
+
+    total_bits: int
+    k: int = 3
+    delta: float = 0.25
+    cell_hash_bits: int = 4
+    seed: int = 1
+    max_queue_passes: int = 3
+
+    def __post_init__(self) -> None:
+        if self.total_bits <= 0:
+            raise ConfigurationError("total_bits must be positive")
+        if self.k < 1:
+            raise ConfigurationError("k must be at least 1")
+        if not 0.0 <= self.delta < 1.0:
+            raise ConfigurationError("delta must satisfy 0 <= delta < 1")
+        if not 1 <= self.cell_hash_bits <= 16:
+            raise ConfigurationError("cell_hash_bits must be between 1 and 16")
+        if self.max_queue_passes < 1:
+            raise ConfigurationError("max_queue_passes must be at least 1")
+
+    @property
+    def cell_bits(self) -> int:
+        """Total bits per HashExpressor cell (endbit + hashindex)."""
+        return 1 + self.cell_hash_bits
+
+    @property
+    def max_hash_functions(self) -> int:
+        """Largest family size representable by a cell (index 0 is 'empty')."""
+        return (1 << self.cell_hash_bits) - 1
+
+    @property
+    def expressor_bits(self) -> int:
+        """Bits allocated to the HashExpressor (∆1)."""
+        return int(self.total_bits * self.delta)
+
+    @property
+    def bloom_bits(self) -> int:
+        """Bits allocated to the Bloom filter (∆2)."""
+        return self.total_bits - self.expressor_bits
+
+    @property
+    def num_cells(self) -> int:
+        """Number of HashExpressor cells ω that fit in the allocated space."""
+        if self.expressor_bits == 0:
+            return 0
+        return max(1, self.expressor_bits // self.cell_bits)
+
+    def bits_per_key(self, num_positive_keys: int) -> float:
+        """Return the bits-per-key ``b`` this budget gives for ``num_positive_keys``."""
+        if num_positive_keys <= 0:
+            raise ConfigurationError("num_positive_keys must be positive")
+        return self.total_bits / num_positive_keys
+
+    def with_total_bits(self, total_bits: int) -> "HABFParams":
+        """Return a copy of these parameters with a different space budget."""
+        return replace(self, total_bits=total_bits)
+
+    @classmethod
+    def from_bits_per_key(
+        cls,
+        bits_per_key: float,
+        num_positive_keys: int,
+        k: int = 3,
+        delta: float = 0.25,
+        cell_hash_bits: int = 4,
+        seed: int = 1,
+    ) -> "HABFParams":
+        """Build parameters from a bits-per-key budget, the paper's usual knob."""
+        if bits_per_key <= 0:
+            raise ConfigurationError("bits_per_key must be positive")
+        if num_positive_keys <= 0:
+            raise ConfigurationError("num_positive_keys must be positive")
+        total_bits = max(8, int(round(bits_per_key * num_positive_keys)))
+        return cls(
+            total_bits=total_bits,
+            k=k,
+            delta=delta,
+            cell_hash_bits=cell_hash_bits,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class SpaceBudget:
+    """A space budget expressed the way the paper's figures express it (MB).
+
+    The experiments in Section V sweep "space size" in megabytes for a fixed
+    dataset.  This helper converts megabytes to bits and keeps the scaling
+    factor used when shrinking the datasets for laptop-scale runs.
+    """
+
+    megabytes: float
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.megabytes <= 0:
+            raise ConfigurationError("space budget must be positive")
+        if self.scale <= 0:
+            raise ConfigurationError("scale must be positive")
+
+    @property
+    def bits(self) -> int:
+        """Total number of bits this budget allows after scaling."""
+        return int(self.megabytes * self.scale * 8 * 1024 * 1024)
+
+    def params(
+        self,
+        k: int = 3,
+        delta: float = 0.25,
+        cell_hash_bits: int = 4,
+        seed: int = 1,
+    ) -> HABFParams:
+        """Return :class:`HABFParams` for this budget."""
+        return HABFParams(
+            total_bits=self.bits,
+            k=k,
+            delta=delta,
+            cell_hash_bits=cell_hash_bits,
+            seed=seed,
+        )
+
+
+__all__ = ["HABFParams", "SpaceBudget"]

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the HABF reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch every failure mode of this package with a single ``except`` clause while
+still being able to distinguish configuration mistakes from runtime failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A filter, workload or experiment was configured with invalid parameters."""
+
+
+class CapacityError(ReproError, RuntimeError):
+    """A data structure ran out of capacity (e.g. Xor filter peeling failed)."""
+
+
+class ConstructionError(ReproError, RuntimeError):
+    """A filter could not be constructed from the supplied key sets."""
+
+
+class UnknownHashError(ConfigurationError):
+    """A hash function name or index does not exist in the global registry."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A workload/dataset was malformed (e.g. overlapping positive/negative sets)."""

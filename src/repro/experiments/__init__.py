@@ -1,0 +1,38 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+Every module exposes a ``run(config=None) -> ExperimentResult`` function that
+regenerates the corresponding figure's data series, plus a ``main()`` entry
+point that prints the series as a text table.  ``ExperimentResult`` rows carry
+plain dictionaries so they can be dumped to CSV or compared in tests.
+
+Module ↔ figure map (see DESIGN.md §3 for the full index):
+
+========================  =====================================================
+Module                    Paper content
+========================  =====================================================
+``fig08_bounds``          Fig. 8 — measured FPR vs the Eq. 19 theoretical bound
+``fig09_parameters``      Fig. 9 — ∆ / k sweep and HashExpressor cell size
+``fig10_uniform``         Fig. 10 — weighted FPR vs space, uniform costs
+``fig11_skewed``          Fig. 11 — weighted FPR vs space, Zipf(1.0) costs
+``fig12_time``            Fig. 12 — construction time and query latency
+``fig13_skewness``        Fig. 13 — weighted FPR vs cost skewness
+``fig14_hash_impls``      Fig. 14 — Bloom filters with different hash functions
+``fig15_memory``          Fig. 15 — construction memory footprint
+========================  =====================================================
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import FILTER_BUILDERS, build_filter, list_algorithms
+from repro.experiments.report import ExperimentResult, format_table, rows_to_csv
+from repro.experiments.runner import sweep_space
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "FILTER_BUILDERS",
+    "build_filter",
+    "list_algorithms",
+    "format_table",
+    "rows_to_csv",
+    "sweep_space",
+]

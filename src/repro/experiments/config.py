@@ -1,0 +1,125 @@
+"""Shared configuration for the experiment harness.
+
+The paper's experiments run on millions of keys and megabytes of filter space.
+A pure-Python reproduction keeps the *bits-per-key* (the quantity all the FPR
+theory depends on) identical while scaling the key counts down, so every run
+finishes on a laptop.  :class:`ExperimentConfig` centralises that scaling:
+
+* ``shalla_positives`` / ``ycsb_positives`` etc. pick the scaled dataset sizes;
+* space sweeps are expressed as the paper's megabyte labels and converted to
+  bits through the *paper's* dataset sizes, so "1.5 MB on Shalla" means the
+  same bits-per-key here as it does in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.workloads.dataset import MembershipDataset
+from repro.workloads.shalla import generate_shalla_like
+from repro.workloads.ycsb import generate_ycsb_like
+
+#: Key counts of the paper's real datasets, used to convert MB labels into
+#: bits-per-key budgets.
+PAPER_SHALLA_POSITIVES = 1_491_178
+PAPER_YCSB_POSITIVES = 12_500_611
+
+#: Space sweeps used throughout Section V (in MB, as labelled in the figures).
+SHALLA_SPACE_SWEEP_MB: Tuple[float, ...] = (1.25, 1.75, 2.25, 2.75, 3.25)
+YCSB_SPACE_SWEEP_MB: Tuple[float, ...] = (12.5, 17.5, 22.5, 27.5, 32.5)
+
+
+def mb_to_bits_per_key(space_mb: float, paper_positives: int) -> float:
+    """Convert a paper figure's MB label into its bits-per-key budget."""
+    if space_mb <= 0 or paper_positives <= 0:
+        raise ConfigurationError("space and key count must be positive")
+    return space_mb * 8 * 1024 * 1024 / paper_positives
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by every experiment runner.
+
+    Attributes:
+        shalla_positives / shalla_negatives: Scaled Shalla-like dataset size.
+        ycsb_positives / ycsb_negatives: Scaled YCSB-like dataset size.
+        seed: Master seed for datasets, costs and filter construction.
+        space_points: How many points of each space sweep to evaluate (taken
+            from the start of the paper's sweep); lower values keep the quick
+            benchmark runs fast while ``5`` reproduces the full figures.
+        cost_shuffles: How many shuffled Zipf cost assignments to average over
+            (the paper uses 10).
+        query_sample: Number of keys used when measuring query latency.
+    """
+
+    shalla_positives: int = 8_000
+    shalla_negatives: int = 7_800
+    ycsb_positives: int = 8_000
+    ycsb_negatives: int = 7_400
+    seed: int = 1
+    space_points: int = 5
+    cost_shuffles: int = 3
+    query_sample: int = 2_000
+
+    def __post_init__(self) -> None:
+        if min(
+            self.shalla_positives,
+            self.shalla_negatives,
+            self.ycsb_positives,
+            self.ycsb_negatives,
+        ) <= 0:
+            raise ConfigurationError("dataset sizes must be positive")
+        if not 1 <= self.space_points <= 5:
+            raise ConfigurationError("space_points must be between 1 and 5")
+        if self.cost_shuffles < 1:
+            raise ConfigurationError("cost_shuffles must be at least 1")
+        if self.query_sample < 1:
+            raise ConfigurationError("query_sample must be at least 1")
+
+    # ------------------------------------------------------------------ #
+    # Datasets
+    # ------------------------------------------------------------------ #
+    def shalla_dataset(self) -> MembershipDataset:
+        """The scaled Shalla-like dataset for this configuration."""
+        return generate_shalla_like(
+            num_positives=self.shalla_positives,
+            num_negatives=self.shalla_negatives,
+            seed=self.seed,
+        )
+
+    def ycsb_dataset(self) -> MembershipDataset:
+        """The scaled YCSB-like dataset for this configuration."""
+        return generate_ycsb_like(
+            num_positives=self.ycsb_positives,
+            num_negatives=self.ycsb_negatives,
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Space sweeps
+    # ------------------------------------------------------------------ #
+    def shalla_space_sweep(self) -> Sequence[Tuple[float, float]]:
+        """(MB label, bits-per-key) pairs for the Shalla space sweep."""
+        points = SHALLA_SPACE_SWEEP_MB[: self.space_points]
+        return [(mb, mb_to_bits_per_key(mb, PAPER_SHALLA_POSITIVES)) for mb in points]
+
+    def ycsb_space_sweep(self) -> Sequence[Tuple[float, float]]:
+        """(MB label, bits-per-key) pairs for the YCSB space sweep."""
+        points = YCSB_SPACE_SWEEP_MB[: self.space_points]
+        return [(mb, mb_to_bits_per_key(mb, PAPER_YCSB_POSITIVES)) for mb in points]
+
+
+#: A deliberately small configuration used by the pytest-benchmark targets so
+#: the full benchmark suite completes quickly; the module-level ``main()``
+#: entry points default to :class:`ExperimentConfig` instead.
+QUICK_CONFIG = ExperimentConfig(
+    shalla_positives=2_500,
+    shalla_negatives=2_400,
+    ycsb_positives=2_500,
+    ycsb_negatives=2_300,
+    space_points=3,
+    cost_shuffles=2,
+    query_sample=800,
+)

@@ -1,0 +1,102 @@
+"""Fig. 9 — HABF parameter study (∆, k and HashExpressor cell size).
+
+Panel (a): with a fixed 2 MB-equivalent budget on the Shalla-like dataset and
+uniform costs, sweep the space-allocation ratio ∆ from 0.1 to 0.9 and the hash
+count ``k`` from 2 to 8; the paper finds ∆ = 0.25 and k = 3–5 optimal.
+
+Panel (b): sweep the total space (the paper's 1.25–3.25 MB labels) for
+HashExpressor cell sizes 3, 4 and 5 bits of ``hashindex``; the paper finds 4
+optimal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.habf import HABF
+from repro.core.params import HABFParams
+from repro.experiments.config import ExperimentConfig, PAPER_SHALLA_POSITIVES, mb_to_bits_per_key
+from repro.experiments.report import ExperimentResult, Row
+from repro.metrics.fpr import evaluate_filter
+from repro.workloads.dataset import MembershipDataset
+
+DELTA_SWEEP: Sequence[float] = (0.1, 0.25, 0.3, 0.5, 0.7, 0.9)
+K_SWEEP: Sequence[int] = (2, 3, 4, 5, 6, 7, 8)
+CELL_SIZE_SWEEP: Sequence[int] = (3, 4, 5)
+PANEL_A_SPACE_MB = 2.0
+
+
+def _evaluate(dataset: MembershipDataset, params: HABFParams) -> float:
+    habf = HABF.build(
+        positives=dataset.positives, negatives=dataset.negatives, params=params
+    )
+    return evaluate_filter(habf, dataset).weighted_fpr
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    """Regenerate both panels of Fig. 9."""
+    config = config or ExperimentConfig()
+    dataset = config.shalla_dataset()
+    rows: List[Row] = []
+
+    bits_per_key = mb_to_bits_per_key(PANEL_A_SPACE_MB, PAPER_SHALLA_POSITIVES)
+    total_bits = int(round(bits_per_key * dataset.num_positives))
+
+    for delta in DELTA_SWEEP:
+        params = HABFParams(total_bits=total_bits, k=3, delta=delta, seed=config.seed)
+        rows.append(
+            {
+                "panel": "a (vary delta)",
+                "delta": delta,
+                "k": 3,
+                "cell_size": 4,
+                "space_mb": PANEL_A_SPACE_MB,
+                "weighted_fpr": _evaluate(dataset, params),
+            }
+        )
+    for k in K_SWEEP:
+        params = HABFParams(total_bits=total_bits, k=k, delta=0.25, seed=config.seed)
+        rows.append(
+            {
+                "panel": "a (vary k)",
+                "delta": 0.25,
+                "k": k,
+                "cell_size": 4,
+                "space_mb": PANEL_A_SPACE_MB,
+                "weighted_fpr": _evaluate(dataset, params),
+            }
+        )
+    for cell_size in CELL_SIZE_SWEEP:
+        for space_mb, bits in config.shalla_space_sweep():
+            params = HABFParams(
+                total_bits=int(round(bits * dataset.num_positives)),
+                k=3,
+                delta=0.25,
+                cell_hash_bits=cell_size,
+                seed=config.seed,
+            )
+            rows.append(
+                {
+                    "panel": "b (vary cell size)",
+                    "delta": 0.25,
+                    "k": 3,
+                    "cell_size": cell_size,
+                    "space_mb": space_mb,
+                    "weighted_fpr": _evaluate(dataset, params),
+                }
+            )
+    return ExperimentResult(
+        experiment_id="fig09",
+        title="Fig. 9: HABF parameter study (delta, k, cell size)",
+        rows=rows,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    result = run()
+    print(result.title)
+    print(result.to_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,55 @@
+"""Fig. 10 — weighted FPR vs space under a uniform cost distribution.
+
+Four panels: Shalla vs non-learned filters (a), Shalla vs learned filters (b),
+YCSB vs non-learned (c), YCSB vs learned (d).  With uniform costs the weighted
+FPR equals the plain FPR; the paper's headline observations are that HABF
+always beats the non-learned baselines and that learned filters only win on
+the structured Shalla keys at very tight space budgets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import LEARNED_ALGORITHMS, NON_LEARNED_ALGORITHMS
+from repro.experiments.report import ExperimentResult, Row
+from repro.experiments.runner import sweep_space
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    """Regenerate all four panels of Fig. 10."""
+    config = config or ExperimentConfig()
+    rows: List[Row] = []
+    panels = [
+        ("a (shalla, non-learned)", config.shalla_dataset(), config.shalla_space_sweep(), NON_LEARNED_ALGORITHMS),
+        ("b (shalla, learned)", config.shalla_dataset(), config.shalla_space_sweep(), LEARNED_ALGORITHMS),
+        ("c (ycsb, non-learned)", config.ycsb_dataset(), config.ycsb_space_sweep(), NON_LEARNED_ALGORITHMS),
+        ("d (ycsb, learned)", config.ycsb_dataset(), config.ycsb_space_sweep(), LEARNED_ALGORITHMS),
+    ]
+    for panel, dataset, sweep, algorithms in panels:
+        rows.extend(
+            sweep_space(
+                dataset,
+                algorithms,
+                sweep,
+                costs=None,
+                seed=config.seed,
+                extra_columns={"panel": panel, "cost_distribution": "uniform"},
+            )
+        )
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Fig. 10: weighted FPR vs space (uniform cost distribution)",
+        rows=rows,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    result = run()
+    print(result.title)
+    print(result.to_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

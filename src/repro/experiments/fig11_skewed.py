@@ -1,0 +1,59 @@
+"""Fig. 11 — weighted FPR vs space under a Zipf(1.0) cost distribution.
+
+Same four-panel layout as Fig. 10, with the misidentification costs of the
+negative keys drawn from a Zipf distribution with skewness 1.0 (shuffled and
+averaged as in the paper's protocol).  The non-learned panels additionally
+include the Weighted Bloom filter, the only cost-aware baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import LEARNED_ALGORITHMS, NON_LEARNED_ALGORITHMS
+from repro.experiments.report import ExperimentResult, Row
+from repro.experiments.runner import averaged_skewed_sweep
+
+SKEWNESS = 1.0
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    """Regenerate all four panels of Fig. 11."""
+    config = config or ExperimentConfig()
+    non_learned = NON_LEARNED_ALGORITHMS + ["WBF"]
+    rows: List[Row] = []
+    panels = [
+        ("a (shalla, non-learned)", config.shalla_dataset(), config.shalla_space_sweep(), non_learned),
+        ("b (shalla, learned)", config.shalla_dataset(), config.shalla_space_sweep(), LEARNED_ALGORITHMS),
+        ("c (ycsb, non-learned)", config.ycsb_dataset(), config.ycsb_space_sweep(), non_learned),
+        ("d (ycsb, learned)", config.ycsb_dataset(), config.ycsb_space_sweep(), LEARNED_ALGORITHMS),
+    ]
+    for panel, dataset, sweep, algorithms in panels:
+        panel_rows = averaged_skewed_sweep(
+            dataset,
+            algorithms,
+            sweep,
+            skewness=SKEWNESS,
+            num_shuffles=config.cost_shuffles,
+            seed=config.seed,
+        )
+        for row in panel_rows:
+            row["panel"] = panel
+            row["cost_distribution"] = f"zipf({SKEWNESS})"
+        rows.extend(panel_rows)
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Fig. 11: weighted FPR vs space (Zipf(1.0) cost distribution)",
+        rows=rows,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    result = run()
+    print(result.title)
+    print(result.to_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

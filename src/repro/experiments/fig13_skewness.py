@@ -1,0 +1,57 @@
+"""Fig. 13 — weighted FPR as the cost skewness grows from 0 to 3.0.
+
+The paper fixes the Shalla dataset at a 1.5 MB budget and increases the Zipf
+skewness of the cost distribution; HABF and f-HABF keep improving (they steer
+optimisation toward the expensive keys) while BF and Xor fluctuate because a
+single expensive false positive dominates the weighted FPR.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    PAPER_SHALLA_POSITIVES,
+    mb_to_bits_per_key,
+)
+from repro.experiments.report import ExperimentResult, Row
+from repro.experiments.runner import averaged_skewed_sweep
+
+SKEWNESS_SWEEP: Sequence[float] = (0.0, 0.6, 1.2, 1.8, 2.4, 3.0)
+ALGORITHMS: Sequence[str] = ("HABF", "f-HABF", "BF", "Xor")
+SPACE_MB = 1.5
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    """Regenerate Fig. 13."""
+    config = config or ExperimentConfig()
+    dataset = config.shalla_dataset()
+    bits_per_key = mb_to_bits_per_key(SPACE_MB, PAPER_SHALLA_POSITIVES)
+    sweep = [(SPACE_MB, bits_per_key)]
+    rows: List[Row] = []
+    for skewness in SKEWNESS_SWEEP:
+        skew_rows = averaged_skewed_sweep(
+            dataset,
+            list(ALGORITHMS),
+            sweep,
+            skewness=skewness,
+            num_shuffles=config.cost_shuffles,
+            seed=config.seed,
+        )
+        rows.extend(skew_rows)
+    return ExperimentResult(
+        experiment_id="fig13",
+        title="Fig. 13: weighted FPR vs cost skewness (Shalla, 1.5 MB)",
+        rows=rows,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    result = run()
+    print(result.title)
+    print(result.to_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

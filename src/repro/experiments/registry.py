@@ -1,0 +1,164 @@
+"""Registry of filter builders used by every experiment.
+
+Each builder has the uniform signature::
+
+    build(dataset, total_bits, costs, seed) -> filter object
+
+where the returned object supports ``contains(key)`` and ``size_in_bits()``.
+Space accounting is head-to-head as in the paper: every method receives the
+same total bit budget (model bits included for the learned filters, Bloom +
+HashExpressor for HABF, fingerprint slots for Xor).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.baselines.learned.adabf import AdaptiveLearnedBloomFilter
+from repro.baselines.learned.lbf import LearnedBloomFilter
+from repro.baselines.learned.slbf import SandwichedLearnedBloomFilter
+from repro.baselines.weighted_bloom import WeightedBloomFilter
+from repro.baselines.xor_filter import XorFilter, fingerprint_bits_for_budget
+from repro.core.bloom import BloomFilter, optimal_num_hashes
+from repro.core.habf import HABF, FastHABF
+from repro.core.params import HABFParams
+from repro.errors import ConfigurationError
+from repro.hashing.base import Key
+from repro.hashing.double_hashing import DoubleHashFamily
+from repro.workloads.dataset import MembershipDataset
+
+FilterBuilder = Callable[[MembershipDataset, int, Optional[Mapping[Key, float]], int], object]
+
+
+def _habf_params(total_bits: int, seed: int) -> HABFParams:
+    return HABFParams(total_bits=total_bits, k=3, delta=0.25, cell_hash_bits=4, seed=seed)
+
+
+def _build_habf(dataset, total_bits, costs, seed):
+    return HABF.build(
+        positives=dataset.positives,
+        negatives=dataset.negatives,
+        costs=costs,
+        params=_habf_params(total_bits, seed),
+    )
+
+
+def _build_fast_habf(dataset, total_bits, costs, seed):
+    return FastHABF.build(
+        positives=dataset.positives,
+        negatives=dataset.negatives,
+        costs=costs,
+        params=_habf_params(total_bits, seed),
+    )
+
+
+def _build_bloom(dataset, total_bits, costs, seed):
+    bits_per_key = total_bits / dataset.num_positives
+    k = optimal_num_hashes(bits_per_key)
+    bloom = BloomFilter(num_bits=total_bits, num_hashes=k)
+    bloom.add_all(dataset.positives)
+    return bloom
+
+
+def _build_bloom_double(primitive: str):
+    def _build(dataset, total_bits, costs, seed):
+        bits_per_key = total_bits / dataset.num_positives
+        k = optimal_num_hashes(bits_per_key)
+        family = DoubleHashFamily(size=k, primitive=primitive, seed=seed)
+        bloom = BloomFilter(num_bits=total_bits, num_hashes=k, family=family)
+        bloom.add_all(dataset.positives)
+        return bloom
+
+    return _build
+
+
+def _build_xor(dataset, total_bits, costs, seed):
+    bits_per_key = total_bits / dataset.num_positives
+    fingerprint_bits = min(
+        32, fingerprint_bits_for_budget(bits_per_key, dataset.num_positives)
+    )
+    return XorFilter(dataset.positives, fingerprint_bits=fingerprint_bits, seed=seed)
+
+
+def _build_wbf(dataset, total_bits, costs, seed):
+    return WeightedBloomFilter.build(
+        positives=dataset.positives,
+        negatives=dataset.negatives,
+        costs=costs,
+        total_bits=total_bits,
+    )
+
+
+def _build_lbf(dataset, total_bits, costs, seed):
+    return LearnedBloomFilter.build(
+        positives=dataset.positives,
+        negatives=dataset.negatives,
+        costs=costs,
+        total_bits=total_bits,
+        seed=seed,
+    )
+
+
+def _build_slbf(dataset, total_bits, costs, seed):
+    return SandwichedLearnedBloomFilter.build(
+        positives=dataset.positives,
+        negatives=dataset.negatives,
+        costs=costs,
+        total_bits=total_bits,
+        seed=seed,
+    )
+
+
+def _build_adabf(dataset, total_bits, costs, seed):
+    return AdaptiveLearnedBloomFilter.build(
+        positives=dataset.positives,
+        negatives=dataset.negatives,
+        costs=costs,
+        total_bits=total_bits,
+        seed=seed,
+    )
+
+
+#: Algorithm name -> builder, covering every method in the paper's Section V.
+FILTER_BUILDERS: Dict[str, FilterBuilder] = {
+    "HABF": _build_habf,
+    "f-HABF": _build_fast_habf,
+    "BF": _build_bloom,
+    "BF(City64)": _build_bloom_double("cityhash"),
+    "BF(XXH128)": _build_bloom_double("xxhash"),
+    "Xor": _build_xor,
+    "WBF": _build_wbf,
+    "LBF": _build_lbf,
+    "SLBF": _build_slbf,
+    "Ada-BF": _build_adabf,
+}
+
+#: The non-learned comparison set of Figs. 10(a)/(c) and 11(a)/(c).
+NON_LEARNED_ALGORITHMS: List[str] = ["HABF", "f-HABF", "BF", "Xor"]
+
+#: The learned comparison set of Figs. 10(b)/(d) and 11(b)/(d).
+LEARNED_ALGORITHMS: List[str] = ["HABF", "f-HABF", "LBF", "Ada-BF", "SLBF"]
+
+
+def list_algorithms() -> List[str]:
+    """Return all registered algorithm names."""
+    return list(FILTER_BUILDERS)
+
+
+def build_filter(
+    name: str,
+    dataset: MembershipDataset,
+    total_bits: int,
+    costs: Optional[Mapping[Key, float]] = None,
+    seed: int = 1,
+):
+    """Build the named filter on ``dataset`` under a ``total_bits`` budget."""
+    try:
+        builder = FILTER_BUILDERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; available: {', '.join(FILTER_BUILDERS)}"
+        ) from None
+    if total_bits <= 0:
+        raise ConfigurationError("total_bits must be positive")
+    return builder(dataset, total_bits, costs, seed)

@@ -1,0 +1,101 @@
+"""Experiment results as plain rows, with text-table and CSV rendering.
+
+Every experiment returns an :class:`ExperimentResult` whose ``rows`` are flat
+dictionaries (one per data point of the corresponding figure).  Keeping them
+as plain data makes the benches, tests and EXPERIMENTS.md generation trivial.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+Row = Dict[str, object]
+
+
+@dataclass
+class ExperimentResult:
+    """The regenerated data series of one paper figure.
+
+    Attributes:
+        experiment_id: Identifier such as ``"fig10"``.
+        title: Human-readable description.
+        rows: One flat dictionary per data point.
+    """
+
+    experiment_id: str
+    title: str
+    rows: List[Row] = field(default_factory=list)
+
+    def filter_rows(self, **criteria: object) -> List[Row]:
+        """Return the rows matching all ``column=value`` criteria."""
+        matched = []
+        for row in self.rows:
+            if all(row.get(column) == value for column, value in criteria.items()):
+                matched.append(row)
+        return matched
+
+    def series(self, value_column: str, **criteria: object) -> List[object]:
+        """Return ``value_column`` from the rows matching ``criteria``, in order."""
+        return [row[value_column] for row in self.filter_rows(**criteria)]
+
+    def columns(self) -> List[str]:
+        """Union of all row keys, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for row in self.rows:
+            for key in row:
+                seen.setdefault(key, None)
+        return list(seen)
+
+    def to_csv(self) -> str:
+        """Render all rows as CSV text."""
+        return rows_to_csv(self.rows)
+
+    def to_table(self, float_format: str = "{:.6g}") -> str:
+        """Render all rows as an aligned text table."""
+        return format_table(self.rows, float_format=float_format)
+
+
+def rows_to_csv(rows: Sequence[Row]) -> str:
+    """Render ``rows`` as CSV with the union of their columns as the header."""
+    if not rows:
+        return ""
+    columns: Dict[str, None] = {}
+    for row in rows:
+        for key in row:
+            columns.setdefault(key, None)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def format_table(rows: Sequence[Row], float_format: str = "{:.6g}") -> str:
+    """Render ``rows`` as a fixed-width text table (the harness's print format)."""
+    if not rows:
+        return "(no rows)"
+    columns: Dict[str, None] = {}
+    for row in rows:
+        for key in row:
+            columns.setdefault(key, None)
+    names = list(columns)
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(name, "")) for name in names] for row in rows]
+    widths = [
+        max(len(names[i]), *(len(line[i]) for line in rendered)) for i in range(len(names))
+    ]
+    header = "  ".join(name.ljust(widths[i]) for i, name in enumerate(names))
+    separator = "  ".join("-" * widths[i] for i in range(len(names)))
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(names))) for line in rendered
+    )
+    return "\n".join([header, separator, body])

@@ -1,0 +1,112 @@
+"""Run every figure experiment and write the regenerated series to CSV files.
+
+Usage::
+
+    python -m repro.experiments.run_all [output_dir] [--quick]
+
+Each figure's rows are written to ``<output_dir>/figXX.csv`` and a short
+summary (the headline comparisons) is printed to stdout and written to
+``<output_dir>/summary.txt``.  EXPERIMENTS.md is based on one such run.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    fig08_bounds,
+    fig09_parameters,
+    fig10_uniform,
+    fig11_skewed,
+    fig12_time,
+    fig13_skewness,
+    fig14_hash_impls,
+    fig15_memory,
+)
+from repro.experiments.config import QUICK_CONFIG, ExperimentConfig
+from repro.experiments.report import ExperimentResult
+
+#: All figure runners, in paper order.
+ALL_FIGURES: Dict[str, Callable[[Optional[ExperimentConfig]], ExperimentResult]] = {
+    "fig08": fig08_bounds.run,
+    "fig09": fig09_parameters.run,
+    "fig10": fig10_uniform.run,
+    "fig11": fig11_skewed.run,
+    "fig12": fig12_time.run,
+    "fig13": fig13_skewness.run,
+    "fig14": fig14_hash_impls.run,
+    "fig15": fig15_memory.run,
+}
+
+
+def run_all(
+    config: Optional[ExperimentConfig] = None,
+    output_dir: Optional[Path] = None,
+) -> Dict[str, ExperimentResult]:
+    """Run every figure experiment, optionally writing CSVs to ``output_dir``."""
+    config = config or ExperimentConfig()
+    results: Dict[str, ExperimentResult] = {}
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+    for name, runner in ALL_FIGURES.items():
+        start = time.perf_counter()
+        result = runner(config)
+        elapsed = time.perf_counter() - start
+        results[name] = result
+        print(f"{name}: {len(result.rows)} rows in {elapsed:.1f}s — {result.title}")
+        if output_dir is not None:
+            (output_dir / f"{name}.csv").write_text(result.to_csv())
+    if output_dir is not None:
+        (output_dir / "summary.txt").write_text(summarize(results))
+    return results
+
+
+def summarize(results: Dict[str, ExperimentResult]) -> str:
+    """Produce the headline comparison lines used by EXPERIMENTS.md."""
+    lines: List[str] = []
+    fig10 = results.get("fig10")
+    if fig10 is not None:
+        for panel in ("a (shalla, non-learned)", "c (ycsb, non-learned)"):
+            for algorithm in ("HABF", "f-HABF", "BF", "Xor"):
+                series = fig10.series("weighted_fpr", panel=panel, algorithm=algorithm)
+                if series:
+                    rendered = ", ".join(f"{value:.3%}" for value in series)
+                    lines.append(f"fig10 {panel} {algorithm}: {rendered}")
+    fig12 = results.get("fig12")
+    if fig12 is not None:
+        for dataset in ("shalla", "ycsb"):
+            rows = {row["algorithm"]: row for row in fig12.filter_rows(dataset=dataset)}
+            if "BF" in rows and "HABF" in rows:
+                build_ratio = rows["HABF"]["construction_ns_per_key"] / rows["BF"]["construction_ns_per_key"]
+                query_ratio = rows["HABF"]["query_ns_per_key"] / rows["BF"]["query_ns_per_key"]
+                lines.append(
+                    f"fig12 {dataset}: HABF/BF construction ratio {build_ratio:.1f}x, "
+                    f"query ratio {query_ratio:.1f}x"
+                )
+    fig15 = results.get("fig15")
+    if fig15 is not None:
+        for dataset in ("shalla", "ycsb"):
+            rows = {row["algorithm"]: row for row in fig15.filter_rows(dataset=dataset)}
+            if "BF" in rows and "HABF" in rows:
+                ratio = rows["HABF"]["peak_construction_mb"] / max(rows["BF"]["peak_construction_mb"], 1e-9)
+                lines.append(f"fig15 {dataset}: HABF/BF construction memory ratio {ratio:.1f}x")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    """CLI entry point."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    quick = "--quick" in argv
+    if quick:
+        argv.remove("--quick")
+    output_dir = Path(argv[0]) if argv else Path("results")
+    config = QUICK_CONFIG if quick else ExperimentConfig()
+    run_all(config, output_dir)
+    print(f"wrote CSVs and summary to {output_dir}/")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

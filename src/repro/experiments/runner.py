@@ -1,0 +1,98 @@
+"""Generic sweep helpers shared by the per-figure experiment modules."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.experiments.registry import build_filter
+from repro.experiments.report import Row
+from repro.hashing.base import Key
+from repro.metrics.fpr import evaluate_filter
+from repro.workloads.dataset import MembershipDataset
+from repro.workloads.zipf import assign_zipf_costs
+
+
+def sweep_space(
+    dataset: MembershipDataset,
+    algorithms: Sequence[str],
+    space_sweep: Sequence[Tuple[float, float]],
+    costs: Optional[Mapping[Key, float]] = None,
+    seed: int = 1,
+    extra_columns: Optional[Dict[str, object]] = None,
+) -> List[Row]:
+    """Evaluate ``algorithms`` over a space sweep on one dataset.
+
+    Args:
+        dataset: Dataset providing positives, negatives and evaluation costs.
+        algorithms: Names registered in :mod:`repro.experiments.registry`.
+        space_sweep: ``(space_label_mb, bits_per_key)`` pairs; the MB label is
+            carried through to the output rows so they read like the paper's
+            x-axis, while the bit budget uses the scaled dataset size.
+        costs: Costs handed to cost-aware builders (HABF, WBF); evaluation uses
+            the dataset's own costs.
+        seed: Construction seed.
+        extra_columns: Constant columns appended to every row.
+    """
+    rows: List[Row] = []
+    for space_mb, bits_per_key in space_sweep:
+        total_bits = max(64, int(round(bits_per_key * dataset.num_positives)))
+        for algorithm in algorithms:
+            filter_obj = build_filter(
+                algorithm, dataset, total_bits, costs=costs, seed=seed
+            )
+            evaluation = evaluate_filter(filter_obj, dataset)
+            row: Row = {
+                "dataset": dataset.name,
+                "space_mb": space_mb,
+                "bits_per_key": round(bits_per_key, 3),
+                "algorithm": algorithm,
+                "weighted_fpr": evaluation.weighted_fpr,
+                "fpr": evaluation.fpr,
+                "fnr": evaluation.fnr,
+            }
+            if extra_columns:
+                row.update(extra_columns)
+            rows.append(row)
+    return rows
+
+
+def averaged_skewed_sweep(
+    dataset: MembershipDataset,
+    algorithms: Sequence[str],
+    space_sweep: Sequence[Tuple[float, float]],
+    skewness: float,
+    num_shuffles: int,
+    seed: int = 1,
+) -> List[Row]:
+    """Space sweep under Zipf costs, averaged over shuffled cost assignments.
+
+    Mirrors the paper's protocol (Section V-C): for each skewness factor the
+    Zipf assignment is shuffled several times and the weighted FPR averaged.
+    """
+    accumulator: Dict[Tuple[float, str], List[float]] = {}
+    plain_columns: Dict[Tuple[float, str], Row] = {}
+    for shuffle_index in range(num_shuffles):
+        costs = assign_zipf_costs(
+            dataset.negatives, skewness=skewness, seed=seed + shuffle_index
+        )
+        weighted_dataset = dataset.with_costs(costs)
+        rows = sweep_space(
+            weighted_dataset,
+            algorithms,
+            space_sweep,
+            costs=costs,
+            seed=seed + shuffle_index,
+        )
+        for row in rows:
+            key = (float(row["space_mb"]), str(row["algorithm"]))
+            accumulator.setdefault(key, []).append(float(row["weighted_fpr"]))
+            plain_columns[key] = row
+    averaged: List[Row] = []
+    for key, values in accumulator.items():
+        row = dict(plain_columns[key])
+        row["weighted_fpr"] = sum(values) / len(values)
+        row["skewness"] = skewness
+        row["num_shuffles"] = num_shuffles
+        averaged.append(row)
+    averaged.sort(key=lambda row: (row["space_mb"], str(row["algorithm"])))
+    return averaged

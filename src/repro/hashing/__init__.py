@@ -1,0 +1,45 @@
+"""Hash-function family used by every filter in this reproduction.
+
+The paper (Table II) draws its global hash-function set ``H`` from 22 classic
+string hashes (xxHash, CityHash, MurmurHash, SuperFast, crc32, FNV, BOB, OAAT,
+DEK, Hsieh, PYHash, BRP, TWMX, APHash, NDJB, DJB, BKDR, PJW, JSHash, RSHash,
+SDBM, ELF).  All of them are re-implemented from scratch in
+:mod:`repro.hashing.primitives` and exposed through a registry
+(:mod:`repro.hashing.registry`) that mirrors the paper's Table II.
+
+Public API
+----------
+``GLOBAL_HASH_FAMILY``
+    The default :class:`HashFamily` with all 22 functions, matching Table II.
+``HashFamily``
+    An ordered, indexable collection of named hash functions.
+``HashFunction``
+    A named, seedable wrapper around a raw hash primitive.
+``double_hashing_family``
+    Kirsch–Mitzenmacher simulated hash family used by f-HABF and BF(City64)/
+    BF(XXH128)-style configurations.
+"""
+
+from repro.hashing.base import HashFunction, normalize_key
+from repro.hashing.double_hashing import DoubleHashFamily, double_hashing_family
+from repro.hashing.registry import (
+    GLOBAL_HASH_FAMILY,
+    HASH_PRIMITIVES,
+    HashFamily,
+    build_family,
+    get_primitive,
+    list_hash_names,
+)
+
+__all__ = [
+    "HashFunction",
+    "HashFamily",
+    "DoubleHashFamily",
+    "GLOBAL_HASH_FAMILY",
+    "HASH_PRIMITIVES",
+    "build_family",
+    "double_hashing_family",
+    "get_primitive",
+    "list_hash_names",
+    "normalize_key",
+]

@@ -1,0 +1,123 @@
+"""Kirsch–Mitzenmacher double hashing, used by f-HABF and the Fig. 14 BF variants.
+
+The paper's fast variant (f-HABF) and the single-primitive Bloom filters
+BF(City64) / BF(XXH128) avoid computing ``k`` independent hashes per key.
+Instead they compute two base hashes ``h1(x)`` and ``h2(x)`` once and simulate
+the ``i``-th hash as ``g_i(x) = h1(x) + i * h2(x)``.  This module provides a
+:class:`DoubleHashFamily` that exposes the simulated functions through the
+same :class:`~repro.hashing.base.HashFunction`-like calling convention the
+rest of the library uses, so filters can swap hashing strategies without any
+other code change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.hashing.base import HashFunction, Key, mix64, normalize_key
+from repro.hashing.primitives import PRIMITIVES
+
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class SimulatedHash:
+    """The ``i``-th Kirsch–Mitzenmacher simulated hash ``g_i(x) = h1(x) + i*h2(x)``."""
+
+    name: str
+    index: int
+    base1: Callable[[bytes], int]
+    base2: Callable[[bytes], int]
+    step: int
+
+    def raw(self, key: Key) -> int:
+        data = normalize_key(key)
+        h1 = self.base1(data)
+        h2 = self.base2(data) | 1  # force odd so the step cycles the whole range
+        return (h1 + self.step * h2) & _MASK64
+
+    def __call__(self, key: Key, modulus: int) -> int:
+        if modulus <= 0:
+            raise ValueError("modulus must be positive")
+        return self.raw(key) % modulus
+
+
+class DoubleHashFamily:
+    """A family of ``size`` simulated hashes derived from two base primitives.
+
+    The interface intentionally matches :class:`repro.hashing.registry.HashFamily`
+    (indexing, iteration, ``initial_selection``) so filters accept either.
+    """
+
+    def __init__(self, size: int, primitive: str = "xxhash", seed: int = 0) -> None:
+        if size < 1:
+            raise ConfigurationError("double hash family needs size >= 1")
+        if primitive not in PRIMITIVES:
+            raise ConfigurationError(f"unknown base primitive {primitive!r}")
+        base = PRIMITIVES[primitive]
+        salt1 = (seed * 0x9E3779B97F4A7C15 + 0xA5A5A5A5) & _MASK64
+        salt2 = (seed * 0xC2B2AE3D27D4EB4F + 0x5A5A5A5A) & _MASK64
+
+        # The whole point of double hashing is to evaluate the base primitive
+        # once per key instead of once per simulated function.  The simulated
+        # functions are evaluated back-to-back on the same key by the filters,
+        # so a single-entry memo captures that reuse without unbounded growth.
+        memo: dict = {}
+
+        def bases(data: bytes, _base=base, _s1=salt1, _s2=salt2, _memo=memo):
+            cached = _memo.get(data)
+            if cached is None:
+                raw = _base(data)
+                cached = (mix64(raw ^ _s1), mix64(raw ^ _s2))
+                _memo.clear()
+                _memo[data] = cached
+            return cached
+
+        def base1(data: bytes, _bases=bases) -> int:
+            return _bases(data)[0]
+
+        def base2(data: bytes, _bases=bases) -> int:
+            return _bases(data)[1]
+
+        self.name = f"double[{primitive}]"
+        self.primitive_name = primitive
+        self._functions: List[SimulatedHash] = [
+            SimulatedHash(
+                name=f"{primitive}+{i}*step",
+                index=i,
+                base1=base1,
+                base2=base2,
+                step=i + 1,
+            )
+            for i in range(size)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def __iter__(self):
+        return iter(self._functions)
+
+    def __getitem__(self, index: int) -> SimulatedHash:
+        return self._functions[index]
+
+    def subset(self, indexes: Sequence[int]) -> List[SimulatedHash]:
+        return [self._functions[i] for i in indexes]
+
+    def initial_selection(self, k: int) -> List[int]:
+        if not 1 <= k <= len(self):
+            raise ConfigurationError(f"k must be between 1 and {len(self)}, got {k}")
+        return list(range(k))
+
+    def names(self) -> List[str]:
+        return [fn.name for fn in self._functions]
+
+
+def double_hashing_family(size: int, primitive: str = "xxhash", seed: int = 0) -> DoubleHashFamily:
+    """Convenience constructor matching :func:`repro.hashing.registry.build_family`."""
+    return DoubleHashFamily(size=size, primitive=primitive, seed=seed)
+
+
+__all__ = ["DoubleHashFamily", "SimulatedHash", "double_hashing_family", "HashFunction"]

@@ -1,0 +1,411 @@
+"""From-scratch implementations of the 22 string hashes in the paper's Table II.
+
+Each primitive takes ``bytes`` and returns an unsigned 64-bit integer.  The
+implementations follow the well-known reference algorithms (FNV-1a, djb2,
+sdbm, BKDR, PJW/ELF, RS, JS, AP, DEK, BRP, OAAT/one-at-a-time, Bob Jenkins
+lookup-style mix, SuperFastHash, CRC-32, Hsieh, Python-style string hash,
+NDJB, TWMX integer mixer, MurmurHash3, a CityHash-flavoured mixer and an
+xxHash-flavoured mixer).  Exact bit-for-bit compatibility with the original C
+libraries is *not* a goal — what matters for the reproduction is that the
+family contains many independent, reasonably well-distributed functions of
+differing quality, exactly the role Table II plays in the paper.
+
+All functions are deterministic, allocation-free and depend only on the input
+bytes, which keeps the whole library reproducible across runs and platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+_MASK32 = (1 << 32) - 1
+_MASK64 = (1 << 64) - 1
+
+
+def _rotl32(value: int, amount: int) -> int:
+    value &= _MASK32
+    return ((value << amount) | (value >> (32 - amount))) & _MASK32
+
+
+def _rotl64(value: int, amount: int) -> int:
+    value &= _MASK64
+    return ((value << amount) | (value >> (64 - amount))) & _MASK64
+
+
+def _fmix64(value: int) -> int:
+    value &= _MASK64
+    value ^= value >> 33
+    value = (value * 0xFF51AFD7ED558CCD) & _MASK64
+    value ^= value >> 33
+    value = (value * 0xC4CEB9FE1A85EC53) & _MASK64
+    value ^= value >> 33
+    return value
+
+
+def fnv1a(data: bytes) -> int:
+    """FNV-1a 64-bit."""
+    value = 0xCBF29CE484222325
+    for byte in data:
+        value ^= byte
+        value = (value * 0x100000001B3) & _MASK64
+    return value
+
+
+def djb2(data: bytes) -> int:
+    """Bernstein's djb2 (`hash * 33 + c`)."""
+    value = 5381
+    for byte in data:
+        value = ((value * 33) + byte) & _MASK64
+    return value
+
+
+def ndjb(data: bytes) -> int:
+    """djb2 XOR variant (`hash * 33 ^ c`), listed as NDJB in Table II."""
+    value = 5381
+    for byte in data:
+        value = ((value * 33) ^ byte) & _MASK64
+    return value
+
+
+def sdbm(data: bytes) -> int:
+    """The sdbm database hash (`c + (h << 6) + (h << 16) - h`)."""
+    value = 0
+    for byte in data:
+        value = (byte + (value << 6) + (value << 16) - value) & _MASK64
+    return value
+
+
+def bkdr(data: bytes) -> int:
+    """BKDR hash with the classic seed 131."""
+    value = 0
+    for byte in data:
+        value = (value * 131 + byte) & _MASK64
+    return value
+
+
+def pjw(data: bytes) -> int:
+    """Peter J. Weinberger's hash (the original AT&T compiler hash), 32-bit core."""
+    value = 0
+    for byte in data:
+        value = ((value << 4) + byte) & _MASK32
+        high = value & 0xF0000000
+        if high:
+            value ^= high >> 24
+        value &= ~high & _MASK32
+    return _fmix64(value)
+
+
+def elf(data: bytes) -> int:
+    """The UNIX ELF object-file hash (a PJW variant)."""
+    value = 0
+    for byte in data:
+        value = ((value << 4) + byte) & _MASK32
+        high = value & 0xF0000000
+        if high:
+            value ^= high >> 24
+            value &= ~high & _MASK32
+    return _fmix64(value ^ (len(data) << 16))
+
+
+def rs_hash(data: bytes) -> int:
+    """Robert Sedgewick's hash from *Algorithms in C*."""
+    a, b = 63689, 378551
+    value = 0
+    for byte in data:
+        value = (value * a + byte) & _MASK64
+        a = (a * b) & _MASK64
+    return value
+
+
+def js_hash(data: bytes) -> int:
+    """Justin Sobel's bitwise hash."""
+    value = 1315423911
+    for byte in data:
+        value ^= ((value << 5) + byte + (value >> 2)) & _MASK64
+        value &= _MASK64
+    return value
+
+
+def ap_hash(data: bytes) -> int:
+    """Arash Partow's hybrid rotative/XOR hash."""
+    value = 0xAAAAAAAA
+    for i, byte in enumerate(data):
+        if i & 1 == 0:
+            value ^= ((value << 7) ^ byte * (value >> 3)) & _MASK64
+        else:
+            value ^= (~((value << 11) + (byte ^ (value >> 5)))) & _MASK64
+        value &= _MASK64
+    return value
+
+
+def dek(data: bytes) -> int:
+    """Donald E. Knuth's hash from TAOCP volume 3."""
+    value = len(data)
+    for byte in data:
+        value = (((value << 5) & _MASK64) ^ (value >> 27) ^ byte) & _MASK64
+    return value
+
+
+def brp(data: bytes) -> int:
+    """BRP (shift-and-xor) hash from the classic hash collections."""
+    value = 0
+    for byte in data:
+        value = (((value << 7) & _MASK64) ^ (value >> 25) ^ byte) & _MASK64
+    return _fmix64(value)
+
+
+def oaat(data: bytes) -> int:
+    """Bob Jenkins' one-at-a-time hash."""
+    value = 0
+    for byte in data:
+        value = (value + byte) & _MASK32
+        value = (value + (value << 10)) & _MASK32
+        value ^= value >> 6
+    value = (value + (value << 3)) & _MASK32
+    value ^= value >> 11
+    value = (value + (value << 15)) & _MASK32
+    return _fmix64(value)
+
+
+def bob_jenkins(data: bytes) -> int:
+    """A Bob Jenkins lookup2-style mix over 32-bit little-endian words."""
+    a = b = 0x9E3779B9
+    c = 0xDEADBEEF
+    i = 0
+    length = len(data)
+    while i + 12 <= length:
+        a = (a + int.from_bytes(data[i : i + 4], "little")) & _MASK32
+        b = (b + int.from_bytes(data[i + 4 : i + 8], "little")) & _MASK32
+        c = (c + int.from_bytes(data[i + 8 : i + 12], "little")) & _MASK32
+        a, b, c = _jenkins_mix(a, b, c)
+        i += 12
+    tail = data[i:] + b"\x00" * (12 - (length - i))
+    a = (a + int.from_bytes(tail[0:4], "little")) & _MASK32
+    b = (b + int.from_bytes(tail[4:8], "little")) & _MASK32
+    c = (c + int.from_bytes(tail[8:12], "little") + length) & _MASK32
+    a, b, c = _jenkins_mix(a, b, c)
+    return ((b << 32) | c) & _MASK64
+
+
+def _jenkins_mix(a: int, b: int, c: int) -> tuple:
+    a = (a - b - c) & _MASK32
+    a ^= c >> 13
+    b = (b - c - a) & _MASK32
+    b ^= (a << 8) & _MASK32
+    c = (c - a - b) & _MASK32
+    c ^= b >> 13
+    a = (a - b - c) & _MASK32
+    a ^= c >> 12
+    b = (b - c - a) & _MASK32
+    b ^= (a << 16) & _MASK32
+    c = (c - a - b) & _MASK32
+    c ^= b >> 5
+    a = (a - b - c) & _MASK32
+    a ^= c >> 3
+    b = (b - c - a) & _MASK32
+    b ^= (a << 10) & _MASK32
+    c = (c - a - b) & _MASK32
+    c ^= b >> 15
+    return a, b, c
+
+
+def superfast(data: bytes) -> int:
+    """Paul Hsieh's SuperFastHash."""
+    length = len(data)
+    value = length & _MASK32
+    i = 0
+    while length >= 4:
+        low = int.from_bytes(data[i : i + 2], "little")
+        high = int.from_bytes(data[i + 2 : i + 4], "little")
+        value = (value + low) & _MASK32
+        tmp = ((high << 11) ^ value) & _MASK32
+        value = ((value << 16) ^ tmp) & _MASK32
+        value = (value + (value >> 11)) & _MASK32
+        i += 4
+        length -= 4
+    if length == 3:
+        value = (value + int.from_bytes(data[i : i + 2], "little")) & _MASK32
+        value ^= (value << 16) & _MASK32
+        value ^= (data[i + 2] << 18) & _MASK32
+        value = (value + (value >> 11)) & _MASK32
+    elif length == 2:
+        value = (value + int.from_bytes(data[i : i + 2], "little")) & _MASK32
+        value ^= (value << 11) & _MASK32
+        value = (value + (value >> 17)) & _MASK32
+    elif length == 1:
+        value = (value + data[i]) & _MASK32
+        value ^= (value << 10) & _MASK32
+        value = (value + (value >> 1)) & _MASK32
+    value ^= (value << 3) & _MASK32
+    value = (value + (value >> 5)) & _MASK32
+    value ^= (value << 4) & _MASK32
+    value = (value + (value >> 17)) & _MASK32
+    value ^= (value << 25) & _MASK32
+    value = (value + (value >> 6)) & _MASK32
+    return _fmix64(value)
+
+
+_CRC32_TABLE = []
+
+
+def _crc32_table() -> list:
+    if not _CRC32_TABLE:
+        for i in range(256):
+            crc = i
+            for _ in range(8):
+                crc = (crc >> 1) ^ (0xEDB88320 if crc & 1 else 0)
+            _CRC32_TABLE.append(crc)
+    return _CRC32_TABLE
+
+
+def crc32(data: bytes) -> int:
+    """CRC-32 (IEEE 802.3 polynomial), widened with a 64-bit finaliser."""
+    table = _crc32_table()
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF]
+    return _fmix64((crc ^ 0xFFFFFFFF) & _MASK32)
+
+
+def hsieh(data: bytes) -> int:
+    """Hsieh-style hash: SuperFastHash core with a different avalanche tail."""
+    value = 0x811C9DC5
+    for byte in data:
+        value ^= byte
+        value = (value * 0x01000193) & _MASK32
+        value ^= value >> 15
+    return _fmix64(value)
+
+
+def pyhash(data: bytes) -> int:
+    """CPython's historical (pre-SipHash) string hashing algorithm."""
+    if not data:
+        return 0
+    value = (data[0] << 7) & _MASK64
+    for byte in data:
+        value = ((value * 1000003) ^ byte) & _MASK64
+    value ^= len(data)
+    return value
+
+
+def twmx(data: bytes) -> int:
+    """Thomas Wang's 64-bit integer mixer applied to an FNV prefix fold."""
+    value = fnv1a(data)
+    value = (~value + (value << 21)) & _MASK64
+    value ^= value >> 24
+    value = (value + (value << 3) + (value << 8)) & _MASK64
+    value ^= value >> 14
+    value = (value + (value << 2) + (value << 4)) & _MASK64
+    value ^= value >> 28
+    value = (value + (value << 31)) & _MASK64
+    return value
+
+
+def murmur3(data: bytes) -> int:
+    """MurmurHash3 x86_32 core, widened with the Murmur 64-bit finaliser."""
+    c1, c2 = 0xCC9E2D51, 0x1B873593
+    value = 0x9747B28C
+    length = len(data)
+    rounded = length - (length % 4)
+    for i in range(0, rounded, 4):
+        k = int.from_bytes(data[i : i + 4], "little")
+        k = (k * c1) & _MASK32
+        k = _rotl32(k, 15)
+        k = (k * c2) & _MASK32
+        value ^= k
+        value = _rotl32(value, 13)
+        value = (value * 5 + 0xE6546B64) & _MASK32
+    k = 0
+    tail = data[rounded:]
+    if len(tail) >= 3:
+        k ^= tail[2] << 16
+    if len(tail) >= 2:
+        k ^= tail[1] << 8
+    if len(tail) >= 1:
+        k ^= tail[0]
+        k = (k * c1) & _MASK32
+        k = _rotl32(k, 15)
+        k = (k * c2) & _MASK32
+        value ^= k
+    value ^= length
+    value ^= value >> 16
+    value = (value * 0x85EBCA6B) & _MASK32
+    value ^= value >> 13
+    value = (value * 0xC2B2AE35) & _MASK32
+    value ^= value >> 16
+    return _fmix64(value)
+
+
+def cityhash(data: bytes) -> int:
+    """CityHash-flavoured 64-bit hash (shift-mix over 8-byte words)."""
+    k2 = 0x9AE16A3B2F90404F
+    length = len(data)
+    value = (length * k2) & _MASK64
+    i = 0
+    while i + 8 <= length:
+        word = int.from_bytes(data[i : i + 8], "little")
+        value ^= (word * k2) & _MASK64
+        value = _rotl64(value, 29)
+        value = (value * 5 + 0x52DCE729) & _MASK64
+        i += 8
+    if i < length:
+        word = int.from_bytes(data[i:], "little")
+        value ^= (word * 0xB492B66FBE98F273) & _MASK64
+        value = _rotl64(value, 33)
+    value ^= value >> 47
+    value = (value * k2) & _MASK64
+    value ^= value >> 47
+    return value
+
+
+def xxhash(data: bytes) -> int:
+    """xxHash-flavoured 64-bit hash (prime-multiply and rotate over 8-byte words)."""
+    prime1 = 0x9E3779B185EBCA87
+    prime2 = 0xC2B2AE3D27D4EB4F
+    prime3 = 0x165667B19E3779F9
+    prime5 = 0x27D4EB2F165667C5
+    length = len(data)
+    value = (prime5 + length) & _MASK64
+    i = 0
+    while i + 8 <= length:
+        word = int.from_bytes(data[i : i + 8], "little")
+        value ^= _rotl64((word * prime2) & _MASK64, 31) * prime1 & _MASK64
+        value = (_rotl64(value, 27) * prime1 + prime3) & _MASK64
+        i += 8
+    while i < length:
+        value ^= (data[i] * prime5) & _MASK64
+        value = (_rotl64(value, 11) * prime1) & _MASK64
+        i += 1
+    value ^= value >> 33
+    value = (value * prime2) & _MASK64
+    value ^= value >> 29
+    value = (value * prime3) & _MASK64
+    value ^= value >> 32
+    return value
+
+
+#: Ordered mapping of primitive name -> callable, mirroring the paper's Table II.
+PRIMITIVES: Dict[str, Callable[[bytes], int]] = {
+    "xxhash": xxhash,
+    "cityhash": cityhash,
+    "murmur3": murmur3,
+    "superfast": superfast,
+    "crc32": crc32,
+    "fnv": fnv1a,
+    "bob": bob_jenkins,
+    "oaat": oaat,
+    "dek": dek,
+    "hsieh": hsieh,
+    "pyhash": pyhash,
+    "brp": brp,
+    "twmx": twmx,
+    "ap": ap_hash,
+    "ndjb": ndjb,
+    "djb": djb2,
+    "bkdr": bkdr,
+    "pjw": pjw,
+    "js": js_hash,
+    "rs": rs_hash,
+    "sdbm": sdbm,
+    "elf": elf,
+}

@@ -1,0 +1,37 @@
+"""A small LSM-tree key-value store: the paper's motivating application.
+
+The paper motivates HABF with LSM-tree key-value databases (LevelDB/RocksDB),
+where a Bloom filter per sorted run avoids disk reads for keys the run does
+not hold, and where reads at deeper levels cost more I/O.  This subpackage
+implements that substrate from scratch so the examples and integration tests
+can show the end-to-end effect of swapping a plain Bloom filter for a HABF:
+
+* :class:`~repro.kvstore.memtable.MemTable` — the in-memory write buffer.
+* :class:`~repro.kvstore.sstable.SSTable` — an immutable sorted run with a
+  pluggable membership filter and a simulated per-read I/O cost.
+* :class:`~repro.kvstore.filter_policy.FilterPolicy` implementations for no
+  filter, standard Bloom filters, and HABF.
+* :class:`~repro.kvstore.lsm.LSMTree` — levelled LSM tree with flush,
+  compaction and read-path I/O accounting.
+"""
+
+from repro.kvstore.filter_policy import (
+    BloomFilterPolicy,
+    FilterPolicy,
+    HABFFilterPolicy,
+    NoFilterPolicy,
+)
+from repro.kvstore.lsm import LSMTree, ReadStats
+from repro.kvstore.memtable import MemTable
+from repro.kvstore.sstable import SSTable
+
+__all__ = [
+    "MemTable",
+    "SSTable",
+    "LSMTree",
+    "ReadStats",
+    "FilterPolicy",
+    "NoFilterPolicy",
+    "BloomFilterPolicy",
+    "HABFFilterPolicy",
+]

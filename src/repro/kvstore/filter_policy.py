@@ -1,0 +1,121 @@
+"""Pluggable per-run membership filters for the LSM tree.
+
+A :class:`FilterPolicy` builds one filter per sorted run from the run's keys;
+the cost-aware policies additionally receive the workload hints (known
+negative keys and their access costs) that the paper assumes are available —
+for example frequently-missed keys harvested from a query log.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Protocol, Sequence
+
+from repro.core.bloom import BloomFilter, optimal_num_hashes
+from repro.core.habf import HABF
+from repro.core.params import HABFParams
+from repro.errors import ConfigurationError
+from repro.hashing.base import Key
+
+
+class MembershipFilter(Protocol):
+    """Minimal filter interface the SSTable read path needs."""
+
+    def contains(self, key: Key) -> bool:  # pragma: no cover - protocol
+        ...
+
+
+class _AlwaysContains:
+    """Degenerate filter used by :class:`NoFilterPolicy` (every read hits disk)."""
+
+    def contains(self, key: Key) -> bool:
+        return True
+
+    def size_in_bits(self) -> int:
+        return 0
+
+
+class FilterPolicy(Protocol):
+    """Builds a membership filter for one sorted run."""
+
+    name: str
+
+    def create_filter(
+        self,
+        keys: Sequence[Key],
+        negatives: Sequence[Key] = (),
+        costs: Optional[Mapping[Key, float]] = None,
+    ) -> MembershipFilter:  # pragma: no cover - protocol
+        ...
+
+
+class NoFilterPolicy:
+    """No filtering: every lookup on a run pays the run's read cost."""
+
+    name = "none"
+
+    def create_filter(
+        self,
+        keys: Sequence[Key],
+        negatives: Sequence[Key] = (),
+        costs: Optional[Mapping[Key, float]] = None,
+    ) -> MembershipFilter:
+        return _AlwaysContains()
+
+
+class BloomFilterPolicy:
+    """Standard Bloom filter per run, sized by bits-per-key (LevelDB style)."""
+
+    name = "bloom"
+
+    def __init__(self, bits_per_key: float = 10.0) -> None:
+        if bits_per_key <= 0:
+            raise ConfigurationError("bits_per_key must be positive")
+        self.bits_per_key = bits_per_key
+
+    def create_filter(
+        self,
+        keys: Sequence[Key],
+        negatives: Sequence[Key] = (),
+        costs: Optional[Mapping[Key, float]] = None,
+    ) -> MembershipFilter:
+        keys = list(keys)
+        if not keys:
+            return _AlwaysContains()
+        num_bits = max(8, int(round(self.bits_per_key * len(keys))))
+        bloom = BloomFilter(num_bits=num_bits, num_hashes=optimal_num_hashes(self.bits_per_key))
+        bloom.add_all(keys)
+        return bloom
+
+
+class HABFFilterPolicy:
+    """HABF per run, steered by the known negative keys and their access costs."""
+
+    name = "habf"
+
+    def __init__(self, bits_per_key: float = 10.0, k: int = 3, seed: int = 1) -> None:
+        if bits_per_key <= 0:
+            raise ConfigurationError("bits_per_key must be positive")
+        self.bits_per_key = bits_per_key
+        self.k = k
+        self.seed = seed
+
+    def create_filter(
+        self,
+        keys: Sequence[Key],
+        negatives: Sequence[Key] = (),
+        costs: Optional[Mapping[Key, float]] = None,
+    ) -> MembershipFilter:
+        keys = list(keys)
+        if not keys:
+            return _AlwaysContains()
+        key_set = set(keys)
+        relevant_negatives = [key for key in negatives if key not in key_set]
+        params = HABFParams.from_bits_per_key(
+            self.bits_per_key, len(keys), k=self.k, seed=self.seed
+        )
+        return HABF.build(
+            positives=keys,
+            negatives=relevant_negatives,
+            costs=costs,
+            params=params,
+        )

@@ -1,0 +1,210 @@
+"""A levelled LSM tree with filter-guarded reads and I/O-cost accounting.
+
+The tree keeps a memtable plus ``max_levels`` levels of SSTables.  Flushes go
+to level 0; when a level holds more tables than its fan-out allows, all of its
+tables (plus the next level's) are merge-compacted into a single table one
+level down.  Reads consult the memtable, then every level from 0 downward;
+each table lookup pays that table's simulated read cost unless the table's
+filter rejects the key.  Per-level read costs grow geometrically, mirroring
+the paper's observation that misses at deeper LevelDB levels are more
+expensive — which is exactly the cost signal a HABF filter policy exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.kvstore.filter_policy import FilterPolicy, NoFilterPolicy
+from repro.kvstore.memtable import TOMBSTONE, MemTable
+from repro.kvstore.sstable import SSTable
+
+
+@dataclass
+class ReadStats:
+    """Aggregate read-path accounting for an :class:`LSMTree`.
+
+    Attributes:
+        gets: Number of ``get`` calls.
+        hits: Gets that found a live value.
+        misses: Gets that found nothing (or a tombstone).
+        table_lookups: SSTable lookups performed.
+        filter_rejections: Lookups answered by a filter without a read.
+        io_cost: Total simulated read cost paid.
+        wasted_io_cost: Read cost paid by lookups that found nothing
+            (filter false positives or range-only matches).
+    """
+
+    gets: int = 0
+    hits: int = 0
+    misses: int = 0
+    table_lookups: int = 0
+    filter_rejections: int = 0
+    io_cost: float = 0.0
+    wasted_io_cost: float = 0.0
+
+
+class LSMTree:
+    """A small levelled log-structured merge tree with pluggable filters.
+
+    Args:
+        memtable_capacity: Keys buffered before a flush.
+        max_levels: Number of on-disk levels.
+        level_fanout: Maximum number of tables per level before compaction.
+        base_read_cost: Simulated cost of reading a level-0 table.
+        level_cost_factor: Multiplier applied per level (deeper = pricier).
+        filter_policy: Filter built for each flushed/compacted table.
+        negative_hints: Known negative keys (e.g. harvested from a query log)
+            handed to cost-aware filter policies.
+        negative_costs: Per-key costs for the negative hints.
+    """
+
+    def __init__(
+        self,
+        memtable_capacity: int = 512,
+        max_levels: int = 4,
+        level_fanout: int = 4,
+        base_read_cost: float = 1.0,
+        level_cost_factor: float = 4.0,
+        filter_policy: Optional[FilterPolicy] = None,
+        negative_hints: Sequence[str] = (),
+        negative_costs: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        if max_levels < 1:
+            raise ConfigurationError("max_levels must be at least 1")
+        if level_fanout < 1:
+            raise ConfigurationError("level_fanout must be at least 1")
+        if base_read_cost < 0 or level_cost_factor <= 0:
+            raise ConfigurationError("read costs must be positive")
+        self._memtable = MemTable(capacity=memtable_capacity)
+        self._levels: List[List[SSTable]] = [[] for _ in range(max_levels)]
+        self._fanout = level_fanout
+        self._base_read_cost = base_read_cost
+        self._level_cost_factor = level_cost_factor
+        self._filter_policy = filter_policy if filter_policy is not None else NoFilterPolicy()
+        self._negative_hints = list(negative_hints)
+        self._negative_costs = dict(negative_costs) if negative_costs else {}
+        self.stats = ReadStats()
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+    def put(self, key: str, value: object) -> None:
+        """Insert or overwrite ``key``."""
+        self._memtable.put(key, value)
+        if self._memtable.is_full():
+            self.flush()
+
+    def delete(self, key: str) -> None:
+        """Delete ``key`` (a tombstone shadows older versions)."""
+        self._memtable.delete(key)
+        if self._memtable.is_full():
+            self.flush()
+
+    def flush(self) -> None:
+        """Flush the memtable into a new level-0 SSTable."""
+        entries = self._memtable.sorted_items()
+        if not entries:
+            return
+        table = self._make_table(entries, level=0)
+        self._levels[0].insert(0, table)
+        self._memtable.clear()
+        self._maybe_compact()
+
+    def _make_table(self, entries: List[Tuple[str, object]], level: int) -> SSTable:
+        return SSTable(
+            entries,
+            level=level,
+            read_cost=self._read_cost_for(level),
+            filter_policy=self._filter_policy,
+            negatives=self._negative_hints,
+            costs=self._negative_costs,
+        )
+
+    def _read_cost_for(self, level: int) -> float:
+        return self._base_read_cost * (self._level_cost_factor ** level)
+
+    def _maybe_compact(self) -> None:
+        for level in range(len(self._levels) - 1):
+            if len(self._levels[level]) > self._fanout:
+                self._compact(level)
+
+    def _compact(self, level: int) -> None:
+        """Merge every table at ``level`` and ``level + 1`` into one table below."""
+        merged: Dict[str, object] = {}
+        # Apply older tables first so newer values overwrite them.  Within a
+        # level, index 0 holds the newest table, and the next level is older
+        # than this one — so walk the deeper level back-to-front, then this
+        # level back-to-front.
+        older_to_newer = list(reversed(self._levels[level + 1])) + list(
+            reversed(self._levels[level])
+        )
+        for table in older_to_newer:
+            for key, value in table.items():
+                merged[key] = value
+        target_level = level + 1
+        is_bottom = target_level == len(self._levels) - 1
+        entries = [
+            (key, value)
+            for key, value in merged.items()
+            # Tombstones can be dropped once they reach the bottom level.
+            if not (is_bottom and value is TOMBSTONE)
+        ]
+        self._levels[level] = []
+        if entries:
+            self._levels[target_level] = [self._make_table(sorted(entries), target_level)]
+        else:
+            self._levels[target_level] = []
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[object]:
+        """Return the live value of ``key`` or ``None`` if absent/deleted."""
+        self.stats.gets += 1
+        found, value = self._memtable.get(key)
+        if found:
+            if value is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return value
+        for level_tables in self._levels:
+            for table in level_tables:
+                self.stats.table_lookups += 1
+                rejections_before = table.stats.filter_rejections
+                found, value, cost = table.get(key)
+                self.stats.io_cost += cost
+                if table.stats.filter_rejections > rejections_before:
+                    self.stats.filter_rejections += 1
+                if not found and cost > 0.0:
+                    self.stats.wasted_io_cost += cost
+                if found:
+                    if value is None:
+                        self.stats.misses += 1
+                        return None
+                    self.stats.hits += 1
+                    return value
+        self.stats.misses += 1
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def num_tables(self) -> int:
+        """Total number of SSTables across all levels."""
+        return sum(len(tables) for tables in self._levels)
+
+    def level_sizes(self) -> List[int]:
+        """Number of tables per level, shallow to deep."""
+        return [len(tables) for tables in self._levels]
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LSMTree(levels={self.level_sizes()}, memtable={len(self._memtable)}, "
+            f"policy={self._filter_policy.name})"
+        )

@@ -1,0 +1,63 @@
+"""The in-memory write buffer of the LSM tree."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Sentinel stored for deleted keys so deletes shadow older versions on disk.
+TOMBSTONE = object()
+
+
+class MemTable:
+    """A bounded in-memory map of the most recent writes.
+
+    Args:
+        capacity: Number of distinct keys after which the memtable reports
+            itself full and the LSM tree flushes it to a sorted run.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("memtable capacity must be positive")
+        self._capacity = capacity
+        self._entries: Dict[str, object] = {}
+
+    def put(self, key: str, value: object) -> None:
+        """Insert or overwrite a key."""
+        self._entries[key] = value
+
+    def delete(self, key: str) -> None:
+        """Record a deletion (a tombstone that shadows older on-disk versions)."""
+        self._entries[key] = TOMBSTONE
+
+    def get(self, key: str) -> Tuple[bool, Optional[object]]:
+        """Return ``(found, value)``; a tombstone reports ``(True, None)``."""
+        if key not in self._entries:
+            return False, None
+        value = self._entries[key]
+        if value is TOMBSTONE:
+            return True, None
+        return True, value
+
+    def is_full(self) -> bool:
+        """True once the number of buffered keys reaches the capacity."""
+        return len(self._entries) >= self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def sorted_items(self) -> List[Tuple[str, object]]:
+        """Return the buffered entries sorted by key (tombstones included)."""
+        return sorted(self._entries.items())
+
+    def clear(self) -> None:
+        """Drop every buffered entry (called after a flush)."""
+        self._entries.clear()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))

@@ -1,0 +1,24 @@
+"""Measurement utilities: weighted FPR, timing and memory accounting.
+
+These implement the four metrics of the paper's Section V-B:
+
+1. weighted FPR (Equation 1/20) — :mod:`repro.metrics.fpr`;
+2. construction time per key — :mod:`repro.metrics.timing`;
+3. query latency per key — :mod:`repro.metrics.timing`;
+4. construction memory consumption — :mod:`repro.metrics.memory`.
+"""
+
+from repro.metrics.fpr import EvaluationResult, evaluate_filter, false_positive_rate, weighted_fpr
+from repro.metrics.memory import measure_construction_memory
+from repro.metrics.timing import TimingResult, time_construction, time_queries
+
+__all__ = [
+    "EvaluationResult",
+    "evaluate_filter",
+    "false_positive_rate",
+    "weighted_fpr",
+    "TimingResult",
+    "time_construction",
+    "time_queries",
+    "measure_construction_memory",
+]

@@ -1,0 +1,113 @@
+"""False-positive-rate metrics, including the paper's weighted FPR (Eq. 1/20).
+
+``WeightedFPR = Σ_{e ∈ O'} Θ(e) / Σ_{e ∈ O} Θ(e)`` where ``O'`` is the subset
+of negative keys the filter misidentifies as positive.  With uniform costs the
+weighted FPR equals the ordinary FPR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Protocol, Sequence
+
+from repro.errors import ConfigurationError
+from repro.hashing.base import Key
+from repro.workloads.dataset import MembershipDataset
+
+
+class MembershipFilter(Protocol):
+    """Anything with a ``contains(key) -> bool`` method (all filters here)."""
+
+    def contains(self, key: Key) -> bool:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Accuracy evaluation of one filter on one dataset.
+
+    Attributes:
+        weighted_fpr: Cost-weighted false positive rate (Eq. 20).
+        fpr: Unweighted false positive rate.
+        fnr: False negative rate (must be 0 for every filter in this repo).
+        num_false_positives: Count of misidentified negative keys.
+        num_false_negatives: Count of missed positive keys.
+        num_negatives: Number of negative keys evaluated.
+        num_positives: Number of positive keys evaluated.
+    """
+
+    weighted_fpr: float
+    fpr: float
+    fnr: float
+    num_false_positives: int
+    num_false_negatives: int
+    num_negatives: int
+    num_positives: int
+
+
+def false_positive_rate(filter_obj: MembershipFilter, negatives: Sequence[Key]) -> float:
+    """Fraction of ``negatives`` the filter reports as members."""
+    if not negatives:
+        return 0.0
+    false_positives = sum(1 for key in negatives if filter_obj.contains(key))
+    return false_positives / len(negatives)
+
+
+def weighted_fpr(
+    filter_obj: MembershipFilter,
+    negatives: Sequence[Key],
+    costs: Optional[Mapping[Key, float]] = None,
+) -> float:
+    """Cost-weighted FPR over ``negatives`` (Eq. 1 / Eq. 20 of the paper)."""
+    if not negatives:
+        return 0.0
+    costs = costs or {}
+    total_cost = 0.0
+    fp_cost = 0.0
+    for key in negatives:
+        cost = float(costs.get(key, 1.0))
+        if cost < 0:
+            raise ConfigurationError("costs must be non-negative")
+        total_cost += cost
+        if filter_obj.contains(key):
+            fp_cost += cost
+    if total_cost == 0.0:
+        return 0.0
+    return fp_cost / total_cost
+
+
+def evaluate_filter(
+    filter_obj: MembershipFilter,
+    dataset: MembershipDataset,
+    negatives: Optional[Sequence[Key]] = None,
+) -> EvaluationResult:
+    """Full accuracy evaluation of a filter on a dataset.
+
+    Args:
+        filter_obj: The filter to evaluate.
+        dataset: Dataset providing positives, negatives and costs.
+        negatives: Optional override of the negative keys to test (e.g. a
+            held-out split); defaults to the dataset's negative set.
+    """
+    negative_keys = list(negatives) if negatives is not None else dataset.negatives
+    total_cost = 0.0
+    fp_cost = 0.0
+    false_positives = 0
+    for key in negative_keys:
+        cost = dataset.cost_of(key)
+        total_cost += cost
+        if filter_obj.contains(key):
+            false_positives += 1
+            fp_cost += cost
+    false_negatives = sum(1 for key in dataset.positives if not filter_obj.contains(key))
+    num_negatives = len(negative_keys)
+    num_positives = dataset.num_positives
+    return EvaluationResult(
+        weighted_fpr=(fp_cost / total_cost) if total_cost else 0.0,
+        fpr=(false_positives / num_negatives) if num_negatives else 0.0,
+        fnr=(false_negatives / num_positives) if num_positives else 0.0,
+        num_false_positives=false_positives,
+        num_false_negatives=false_negatives,
+        num_negatives=num_negatives,
+        num_positives=num_positives,
+    )

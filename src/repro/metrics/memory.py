@@ -1,0 +1,58 @@
+"""Construction memory measurement (paper Section V-J, Fig. 15).
+
+The paper reports the CPU memory footprint during filter construction.  Here
+we use :mod:`tracemalloc` to capture the *peak Python-heap allocation* while a
+build callable runs, which captures the same qualitative effect the paper
+describes: HABF needs extra construction memory for the negative keys and the
+two runtime indexes ``V`` and ``Γ``, learned filters need much more for their
+feature matrices, and the plain Bloom filter needs almost nothing beyond its
+bit array.
+"""
+
+from __future__ import annotations
+
+import gc
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable, Tuple, TypeVar
+
+FilterT = TypeVar("FilterT")
+
+
+@dataclass(frozen=True)
+class MemoryResult:
+    """Peak heap allocation observed while a build callable ran.
+
+    Attributes:
+        peak_bytes: Peak allocated bytes above the pre-build baseline.
+        current_bytes: Bytes still allocated when the build returned (the
+            retained footprint of the built structure and anything it keeps).
+    """
+
+    peak_bytes: int
+    current_bytes: int
+
+    @property
+    def peak_megabytes(self) -> float:
+        """Peak allocation in MiB."""
+        return self.peak_bytes / (1024 * 1024)
+
+
+def measure_construction_memory(build: Callable[[], FilterT]) -> Tuple[FilterT, MemoryResult]:
+    """Run ``build()`` under tracemalloc and report its peak heap usage."""
+    gc.collect()
+    already_tracing = tracemalloc.is_tracing()
+    if not already_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    baseline, _ = tracemalloc.get_traced_memory()
+    try:
+        result = build()
+        current, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not already_tracing:
+            tracemalloc.stop()
+    return result, MemoryResult(
+        peak_bytes=max(0, peak - baseline),
+        current_bytes=max(0, current - baseline),
+    )

@@ -1,0 +1,68 @@
+"""Construction-time and query-latency measurement (paper Section V-I).
+
+The paper reports nanoseconds per key for construction and for queries.  The
+helpers here time an arbitrary build callable and an arbitrary filter's
+``contains`` over a workload, and normalise to per-key figures so the
+experiment harness can print the same rows the paper's Fig. 12 plots.
+Absolute values are not comparable to the paper's C++ numbers (see DESIGN.md
+§4); the ratios between methods are the reproduction target.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple, TypeVar
+
+from repro.errors import ConfigurationError
+from repro.hashing.base import Key
+
+FilterT = TypeVar("FilterT")
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """A wall-clock measurement normalised per key.
+
+    Attributes:
+        total_seconds: Total elapsed wall-clock time.
+        num_keys: Number of keys processed.
+        ns_per_key: Elapsed time divided by key count, in nanoseconds.
+    """
+
+    total_seconds: float
+    num_keys: int
+
+    @property
+    def ns_per_key(self) -> float:
+        """Nanoseconds per processed key."""
+        if self.num_keys == 0:
+            return 0.0
+        return self.total_seconds * 1e9 / self.num_keys
+
+
+def time_construction(
+    build: Callable[[], FilterT], num_keys: int
+) -> Tuple[FilterT, TimingResult]:
+    """Time ``build()`` and normalise by ``num_keys`` (per-key construction time)."""
+    if num_keys <= 0:
+        raise ConfigurationError("num_keys must be positive")
+    start = time.perf_counter()
+    result = build()
+    elapsed = time.perf_counter() - start
+    return result, TimingResult(total_seconds=elapsed, num_keys=num_keys)
+
+
+def time_queries(filter_obj, keys: Sequence[Key], repeats: int = 1) -> TimingResult:
+    """Time ``filter_obj.contains`` over ``keys`` (optionally repeated)."""
+    if not keys:
+        raise ConfigurationError("keys must not be empty")
+    if repeats < 1:
+        raise ConfigurationError("repeats must be at least 1")
+    contains = filter_obj.contains
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for key in keys:
+            contains(key)
+    elapsed = time.perf_counter() - start
+    return TimingResult(total_seconds=elapsed, num_keys=len(keys) * repeats)

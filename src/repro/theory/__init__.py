@@ -1,0 +1,27 @@
+"""Analytic formulas and the paper's theoretical bounds (Section IV).
+
+* :mod:`repro.theory.bloom_math` — textbook Bloom-filter FPR math.
+* :mod:`repro.theory.habf_bounds` — Theorem 4.1, Theorem 4.2 and the expected
+  false-positive-rate bound of Equation 19, which the Fig. 8 experiment checks
+  against measured values.
+"""
+
+from repro.theory.bloom_math import bloom_fpr, min_fpr_for_bits_per_key, optimal_k
+from repro.theory.habf_bounds import (
+    expected_optimized_collisions_lower_bound,
+    expected_single_mapping_probability,
+    expressor_insertion_probability,
+    habf_fpr_bound,
+    habf_fpr_from_components,
+)
+
+__all__ = [
+    "bloom_fpr",
+    "optimal_k",
+    "min_fpr_for_bits_per_key",
+    "expected_single_mapping_probability",
+    "expressor_insertion_probability",
+    "expected_optimized_collisions_lower_bound",
+    "habf_fpr_bound",
+    "habf_fpr_from_components",
+]

@@ -1,0 +1,30 @@
+"""Textbook Bloom-filter math used throughout the experiments and bounds."""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+def bloom_fpr(bits_per_key: float, num_hashes: int) -> float:
+    """Analytic FPR ``(1 - e^{-k/b})^k`` for bits-per-key ``b`` and ``k`` hashes."""
+    if bits_per_key <= 0:
+        raise ConfigurationError("bits_per_key must be positive")
+    if num_hashes < 1:
+        raise ConfigurationError("num_hashes must be at least 1")
+    return (1.0 - math.exp(-num_hashes / bits_per_key)) ** num_hashes
+
+
+def optimal_k(bits_per_key: float) -> int:
+    """FPR-minimising hash count ``k = ln2 · b`` (rounded, at least 1)."""
+    if bits_per_key <= 0:
+        raise ConfigurationError("bits_per_key must be positive")
+    return max(1, int(round(math.log(2) * bits_per_key)))
+
+
+def min_fpr_for_bits_per_key(bits_per_key: float) -> float:
+    """Minimum achievable FPR ``0.6185^b`` at the optimal hash count."""
+    if bits_per_key <= 0:
+        raise ConfigurationError("bits_per_key must be positive")
+    return 0.6185 ** bits_per_key

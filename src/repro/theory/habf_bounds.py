@@ -1,0 +1,141 @@
+"""The paper's theoretical bounds for HABF (Section IV).
+
+Implemented formulas:
+
+* **Theorem 4.1** — the expected probability that a unit touched by a collision
+  key is singly mapped: ``E(P_ξ) > (k/b) / (e^{k/b} - 1)``.
+* **Equation 11** — the probability that an adjusted selection can still be
+  inserted into a HashExpressor that already holds ``t`` keys:
+  ``P_s(t) > (1 - (kt + k)/ω)^k``.
+* **Theorem 4.2 / Equation 12** — a lower bound on the expected number of
+  collision keys TPJO optimises:
+  ``E(t) > T·P'_c·(ω - k²) / (ω + T·P'_c·k²)``.
+* **Equation 19** — the upper bound on the optimised Bloom filter's expected
+  FPR, which Fig. 8 of the paper verifies experimentally:
+  ``E(F*_bf) < E(F_bf) - T·P'_c·(ω - k²) / (|O|·(ω + T·P'_c·k²))``.
+
+The paper defers the exact expression for ``P'_c`` (the probability that a
+positive key's selection can be adjusted without creating a new conflict) to
+an appendix that is not part of the published text.  We use a conservative
+*lower bound*: the probability that at least one of the ``|H| - k`` candidate
+replacement hashes lands on a bit that is already set (such a replacement is
+always conflict-free).  A lower bound on ``P'_c`` lowers the bound on ``E(t)``
+and therefore *raises* the Eq. 19 FPR bound, keeping it a valid upper bound —
+exactly the property the Fig. 8 verification needs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.theory.bloom_math import bloom_fpr
+
+
+def expected_single_mapping_probability(bits_per_key: float, num_hashes: int) -> float:
+    """Theorem 4.1: lower bound on ``E(P_ξ)``, the single-mapping probability."""
+    if bits_per_key <= 0:
+        raise ConfigurationError("bits_per_key must be positive")
+    if num_hashes < 1:
+        raise ConfigurationError("num_hashes must be at least 1")
+    ratio = num_hashes / bits_per_key
+    return ratio / (math.exp(ratio) - 1.0)
+
+
+def expressor_insertion_probability(num_hashes: int, num_cells: int, inserted: int) -> float:
+    """Equation 11: lower bound on ``P_s(t)`` after ``inserted`` keys are stored."""
+    if num_cells <= 0:
+        raise ConfigurationError("num_cells must be positive")
+    if num_hashes < 1:
+        raise ConfigurationError("num_hashes must be at least 1")
+    if inserted < 0:
+        raise ConfigurationError("inserted must be non-negative")
+    load = (num_hashes * inserted + num_hashes) / num_cells
+    return max(0.0, 1.0 - load) ** num_hashes
+
+
+def adjustment_probability_lower_bound(
+    bits_per_key: float, num_hashes: int, family_size: int
+) -> float:
+    """Conservative lower bound on ``P'_c`` (see module docstring).
+
+    The probability that a single candidate replacement hash maps the adjusted
+    key onto an already-set bit is approximately the Bloom filter's fill ratio
+    ``1 - e^{-k/b}``; with ``|H| - k`` independent candidates the probability
+    that at least one is usable is ``1 - (e^{-k/b})^{|H|-k}``.
+    """
+    if family_size <= num_hashes:
+        return 0.0
+    fill = 1.0 - math.exp(-num_hashes / bits_per_key)
+    candidates = family_size - num_hashes
+    return 1.0 - (1.0 - fill) ** candidates
+
+
+def expected_optimized_collisions_lower_bound(
+    num_collisions: int,
+    adjustment_probability: float,
+    num_hashes: int,
+    num_cells: int,
+) -> float:
+    """Theorem 4.2 / Eq. 12: lower bound on the expected number optimised."""
+    if num_collisions < 0:
+        raise ConfigurationError("num_collisions must be non-negative")
+    if not 0.0 <= adjustment_probability <= 1.0:
+        raise ConfigurationError("adjustment_probability must be in [0, 1]")
+    if num_cells <= 0:
+        raise ConfigurationError("num_cells must be positive")
+    k_sq = num_hashes * num_hashes
+    if num_cells <= k_sq:
+        return 0.0
+    numerator = num_collisions * adjustment_probability * (num_cells - k_sq)
+    denominator = num_cells + num_collisions * adjustment_probability * k_sq
+    return numerator / denominator
+
+
+def habf_fpr_bound(
+    bits_per_key: float,
+    num_hashes: int,
+    num_negatives: int,
+    num_cells: int,
+    family_size: int = 22,
+) -> float:
+    """Equation 19: upper bound on the optimised Bloom filter's expected FPR.
+
+    Args:
+        bits_per_key: Bits-per-key of the *Bloom-filter part* of the HABF.
+        num_hashes: Hash functions per key ``k``.
+        num_negatives: Size of the known negative set ``|O|``.
+        num_cells: HashExpressor size ``ω``.
+        family_size: Size of the global hash family ``|H|``.
+    """
+    if num_negatives <= 0:
+        raise ConfigurationError("num_negatives must be positive")
+    base_fpr = bloom_fpr(bits_per_key, num_hashes)
+    expected_collisions = base_fpr * num_negatives
+    p_c = adjustment_probability_lower_bound(bits_per_key, num_hashes, family_size)
+    optimized = expected_optimized_collisions_lower_bound(
+        num_collisions=int(expected_collisions),
+        adjustment_probability=p_c,
+        num_hashes=num_hashes,
+        num_cells=num_cells,
+    )
+    bound = base_fpr - optimized / num_negatives
+    return max(0.0, min(1.0, bound))
+
+
+def habf_fpr_from_components(
+    optimized_bloom_fpr: float, expressor_cells: int, inserted_keys: int
+) -> float:
+    """Equation 2 composed with the ``F_h ≤ t/ω`` bound.
+
+    ``F_habf ≤ (ω + t)/ω · F*_bf`` — the overall HABF FPR given the optimised
+    Bloom filter's FPR and the HashExpressor occupancy.
+    """
+    if expressor_cells <= 0:
+        raise ConfigurationError("expressor_cells must be positive")
+    if inserted_keys < 0:
+        raise ConfigurationError("inserted_keys must be non-negative")
+    if not 0.0 <= optimized_bloom_fpr <= 1.0:
+        raise ConfigurationError("optimized_bloom_fpr must be in [0, 1]")
+    factor = (expressor_cells + inserted_keys) / expressor_cells
+    return min(1.0, factor * optimized_bloom_fpr)

@@ -1,0 +1,24 @@
+"""Workload generators reproducing the paper's two datasets and cost model.
+
+* :mod:`repro.workloads.shalla` — a synthetic stand-in for Shalla's Blacklists:
+  URL keys with evident structural characteristics (DESIGN.md §4).
+* :mod:`repro.workloads.ycsb` — YCSB-style keys (4-byte prefix + 64-bit
+  integer) with no learnable structure.
+* :mod:`repro.workloads.zipf` — Zipf-distributed misidentification costs with
+  a configurable skewness factor (0 = uniform).
+* :mod:`repro.workloads.dataset` — the :class:`~repro.workloads.dataset.MembershipDataset`
+  container holding positive keys, negative keys and per-key costs.
+"""
+
+from repro.workloads.dataset import MembershipDataset
+from repro.workloads.shalla import generate_shalla_like
+from repro.workloads.ycsb import generate_ycsb_like
+from repro.workloads.zipf import assign_zipf_costs, zipf_weights
+
+__all__ = [
+    "MembershipDataset",
+    "generate_shalla_like",
+    "generate_ycsb_like",
+    "assign_zipf_costs",
+    "zipf_weights",
+]

@@ -1,0 +1,123 @@
+"""The dataset container shared by every experiment and example.
+
+A :class:`MembershipDataset` bundles the positive key set ``S``, the known
+negative key set ``O`` and the per-key cost function ``Θ`` (defaulting to
+uniform cost 1.0), validating the disjointness invariant the problem
+formulation requires.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import DatasetError
+from repro.hashing.base import Key
+
+
+@dataclass
+class MembershipDataset:
+    """Positive keys, negative keys and per-key misidentification costs.
+
+    Attributes:
+        name: Label used in experiment reports (e.g. ``"shalla"`` or ``"ycsb"``).
+        positives: The positive key set ``S`` (keys that are members).
+        negatives: The known negative key set ``O`` (keys that are not members).
+        costs: Per-key cost ``Θ(e)`` for negative keys; keys missing from the
+            mapping have cost 1.0.
+    """
+
+    name: str
+    positives: List[Key]
+    negatives: List[Key]
+    costs: Dict[Key, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.positives:
+            raise DatasetError("a dataset needs at least one positive key")
+        if len(set(self.positives)) != len(self.positives):
+            raise DatasetError("positive keys must be unique")
+        if len(set(self.negatives)) != len(self.negatives):
+            raise DatasetError("negative keys must be unique")
+        overlap = set(self.positives) & set(self.negatives)
+        if overlap:
+            raise DatasetError(
+                f"positive and negative keys must be disjoint ({len(overlap)} overlap)"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_positives(self) -> int:
+        """Number of positive keys ``|S|``."""
+        return len(self.positives)
+
+    @property
+    def num_negatives(self) -> int:
+        """Number of known negative keys ``|O|``."""
+        return len(self.negatives)
+
+    def cost_of(self, key: Key) -> float:
+        """Cost ``Θ(key)``; 1.0 when no explicit cost was assigned."""
+        return float(self.costs.get(key, 1.0))
+
+    def total_negative_cost(self) -> float:
+        """Sum of ``Θ`` over all negative keys (the weighted-FPR denominator)."""
+        return sum(self.cost_of(key) for key in self.negatives)
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def with_costs(self, costs: Mapping[Key, float], name: Optional[str] = None) -> "MembershipDataset":
+        """Return a copy of this dataset using different costs."""
+        return MembershipDataset(
+            name=name or self.name,
+            positives=list(self.positives),
+            negatives=list(self.negatives),
+            costs=dict(costs),
+        )
+
+    def with_uniform_costs(self) -> "MembershipDataset":
+        """Return a copy with every cost reset to 1.0 (uniform distribution)."""
+        return self.with_costs({}, name=self.name)
+
+    def subsample(
+        self,
+        num_positives: Optional[int] = None,
+        num_negatives: Optional[int] = None,
+        seed: int = 1,
+    ) -> "MembershipDataset":
+        """Return a smaller dataset sampled deterministically from this one."""
+        rng = random.Random(seed)
+        positives = list(self.positives)
+        negatives = list(self.negatives)
+        if num_positives is not None and num_positives < len(positives):
+            positives = rng.sample(positives, num_positives)
+        if num_negatives is not None and num_negatives < len(negatives):
+            negatives = rng.sample(negatives, num_negatives)
+        costs = {key: self.costs[key] for key in negatives if key in self.costs}
+        return MembershipDataset(
+            name=self.name, positives=positives, negatives=negatives, costs=costs
+        )
+
+    def split_negatives(self, train_fraction: float, seed: int = 1) -> Tuple[List[Key], List[Key]]:
+        """Split the negative keys into (train, held-out) subsets.
+
+        Useful for evaluating filters on negative keys they did not see during
+        construction (generalisation check), and for training learned filters.
+        """
+        if not 0.0 < train_fraction < 1.0:
+            raise DatasetError("train_fraction must be strictly between 0 and 1")
+        rng = random.Random(seed)
+        shuffled = list(self.negatives)
+        rng.shuffle(shuffled)
+        cut = int(len(shuffled) * train_fraction)
+        return shuffled[:cut], shuffled[cut:]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MembershipDataset(name={self.name!r}, positives={len(self.positives)}, "
+            f"negatives={len(self.negatives)})"
+        )

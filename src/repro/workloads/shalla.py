@@ -1,0 +1,109 @@
+"""Synthetic stand-in for Shalla's Blacklists (the paper's URL dataset).
+
+Shalla's Blacklists is a categorised URL blocklist (~2.9 M keys split roughly
+half/half into the paper's positive and negative sets).  The hosting site is
+offline and this environment has no network access, so this module generates a
+URL corpus with the same *evident characteristics* the paper relies on:
+
+* keys are URLs with category-correlated token structure — blacklisted
+  (positive) URLs are drawn from "risky" categories with characteristic TLDs,
+  hosts and path tokens, benign (negative) URLs from ordinary categories;
+* the two classes are therefore separable to a useful degree by a classifier
+  over character n-grams (which is what makes the learned baselines strong on
+  this dataset and is irrelevant to the hash-based filters);
+* positive and negative sets are disjoint and deterministic for a given seed.
+
+Sizes default to laptop-scale (thousands of keys); the generator accepts any
+size so the experiment harness can scale up when more time is available.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Set
+
+from repro.errors import ConfigurationError
+from repro.workloads.dataset import MembershipDataset
+
+_RISKY_CATEGORIES = (
+    "adv", "tracker", "spyware", "warez", "gamble", "phish", "malware", "porn",
+)
+_BENIGN_CATEGORIES = (
+    "news", "shopping", "education", "health", "travel", "sports", "music", "recipes",
+)
+_RISKY_TLDS = ("xyz", "top", "click", "info", "biz", "ru", "cn", "tk")
+_BENIGN_TLDS = ("com", "org", "net", "edu", "gov", "io", "co", "de")
+_RISKY_WORDS = (
+    "free", "win", "bonus", "crack", "keygen", "casino", "bet", "pills",
+    "adult", "prize", "cheap", "vip", "hot", "xxx", "loan", "hack",
+)
+_BENIGN_WORDS = (
+    "article", "blog", "docs", "about", "contact", "product", "review", "guide",
+    "library", "store", "portal", "forum", "recipe", "course", "photo", "event",
+)
+_PATH_SEGMENTS = ("index", "page", "item", "view", "post", "cat", "id", "ref")
+
+
+def _make_url(rng: random.Random, risky: bool, serial: int) -> str:
+    categories = _RISKY_CATEGORIES if risky else _BENIGN_CATEGORIES
+    tlds = _RISKY_TLDS if risky else _BENIGN_TLDS
+    words = _RISKY_WORDS if risky else _BENIGN_WORDS
+    category = rng.choice(categories)
+    host_word = rng.choice(words)
+    second_word = rng.choice(words)
+    tld = rng.choice(tlds)
+    # Risky hosts frequently embed digits and hyphens; benign hosts rarely do.
+    if risky and rng.random() < 0.7:
+        host = f"{host_word}{rng.randint(0, 9999)}-{second_word}"
+    else:
+        host = f"{host_word}{second_word}"
+    depth = rng.randint(1, 3)
+    segments = [
+        f"{rng.choice(_PATH_SEGMENTS)}{rng.randint(0, 999)}" for _ in range(depth)
+    ]
+    path = "/".join(segments)
+    return f"http://{category}.{host}.{tld}/{path}?s={serial}"
+
+
+def generate_shalla_like(
+    num_positives: int = 15_000,
+    num_negatives: int = 14_500,
+    seed: int = 1,
+    name: str = "shalla",
+) -> MembershipDataset:
+    """Generate the Shalla-like URL dataset.
+
+    Args:
+        num_positives: Size of the positive (blacklisted) key set.
+        num_negatives: Size of the known negative (benign) key set.  The
+            paper's real dataset has slightly fewer negatives than positives,
+            hence the default ratio.
+        seed: Generation seed; the output is fully deterministic.
+        name: Dataset label used in reports.
+    """
+    if num_positives <= 0 or num_negatives <= 0:
+        raise ConfigurationError("dataset sizes must be positive")
+    rng = random.Random(seed)
+    positives = _generate_unique(rng, risky=True, count=num_positives)
+    taken: Set[str] = set(positives)
+    negatives = _generate_unique(rng, risky=False, count=num_negatives, exclude=taken)
+    return MembershipDataset(name=name, positives=positives, negatives=negatives)
+
+
+def _generate_unique(
+    rng: random.Random,
+    risky: bool,
+    count: int,
+    exclude: Set[str] = frozenset(),
+) -> List[str]:
+    keys: List[str] = []
+    seen: Set[str] = set()
+    serial = 0
+    while len(keys) < count:
+        url = _make_url(rng, risky, serial)
+        serial += 1
+        if url in seen or url in exclude:
+            continue
+        seen.add(url)
+        keys.append(url)
+    return keys

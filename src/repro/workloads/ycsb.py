@@ -1,0 +1,61 @@
+"""YCSB-style key generator (the paper's second dataset).
+
+The paper modifies YCSB's uniform generator to emit keys made of a 4-byte
+prefix and a 64-bit integer "without evident characteristics" — i.e. there is
+nothing for a learned model to exploit.  This generator reproduces that
+schema: every key is ``user`` + a 20-digit decimal rendering of a 64-bit value
+produced by a SplitMix64-style mixer, so positive and negative keys are
+statistically indistinguishable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.errors import ConfigurationError
+from repro.hashing.base import mix64
+from repro.workloads.dataset import MembershipDataset
+
+_DEFAULT_PREFIX = "user"
+
+
+def _ycsb_key(counter: int, seed: int, prefix: str) -> str:
+    value = mix64((counter + 1) * 0x9E3779B97F4A7C15 ^ (seed * 0xD1B54A32D192ED03))
+    return f"{prefix}{value:020d}"
+
+
+def generate_ycsb_like(
+    num_positives: int = 25_000,
+    num_negatives: int = 23_000,
+    seed: int = 1,
+    prefix: str = _DEFAULT_PREFIX,
+    name: str = "ycsb",
+) -> MembershipDataset:
+    """Generate the YCSB-like dataset (4-byte prefix + 64-bit integer keys).
+
+    Args:
+        num_positives: Size of the positive key set.
+        num_negatives: Size of the known negative key set.
+        seed: Generation seed; the output is fully deterministic.
+        prefix: The 4-byte key prefix (``"user"`` matches YCSB's default).
+        name: Dataset label used in reports.
+    """
+    if num_positives <= 0 or num_negatives <= 0:
+        raise ConfigurationError("dataset sizes must be positive")
+    if len(prefix.encode("utf-8")) != 4:
+        raise ConfigurationError("prefix must be exactly 4 bytes, as in the paper")
+    positives: List[str] = []
+    negatives: List[str] = []
+    seen: Set[str] = set()
+    counter = 0
+    while len(positives) < num_positives or len(negatives) < num_negatives:
+        key = _ycsb_key(counter, seed, prefix)
+        counter += 1
+        if key in seen:
+            continue
+        seen.add(key)
+        if len(positives) < num_positives:
+            positives.append(key)
+        else:
+            negatives.append(key)
+    return MembershipDataset(name=name, positives=positives, negatives=negatives)

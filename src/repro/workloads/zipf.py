@@ -1,0 +1,55 @@
+"""Zipf cost distributions (Section V-C of the paper).
+
+The paper assigns each negative key a misidentification cost drawn from a
+Zipf distribution with a skewness factor between 0 (uniform) and 3.0, then
+randomly shuffles the assignment.  :func:`assign_zipf_costs` reproduces that
+procedure deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.hashing.base import Key
+
+
+def zipf_weights(count: int, skewness: float) -> List[float]:
+    """Return ``count`` Zipf weights ``rank^-skewness`` (uniform when skewness=0).
+
+    The weights are normalised so their mean is 1.0, which keeps weighted FPR
+    directly comparable to unweighted FPR when the skewness is 0.
+    """
+    if count <= 0:
+        raise ConfigurationError("count must be positive")
+    if skewness < 0:
+        raise ConfigurationError("skewness must be non-negative")
+    raw = [1.0 / ((rank + 1) ** skewness) for rank in range(count)]
+    mean = sum(raw) / count
+    return [value / mean for value in raw]
+
+
+def assign_zipf_costs(
+    keys: Sequence[Key],
+    skewness: float,
+    seed: int = 1,
+    shuffle: bool = True,
+) -> Dict[Key, float]:
+    """Assign Zipf-distributed costs to ``keys``.
+
+    Args:
+        keys: The keys to assign costs to (typically the negative key set).
+        skewness: Zipf skewness factor; 0 yields a uniform cost of 1.0.
+        seed: Shuffle seed (the paper shuffles the generated distribution).
+        shuffle: When False the highest cost goes to the first key, the second
+            highest to the second key, and so on (useful in tests).
+    """
+    keys = list(keys)
+    if not keys:
+        return {}
+    weights = zipf_weights(len(keys), skewness)
+    if shuffle:
+        rng = random.Random(seed)
+        rng.shuffle(weights)
+    return dict(zip(keys, weights))

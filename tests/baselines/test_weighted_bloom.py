@@ -1,0 +1,88 @@
+"""Unit tests for the Weighted Bloom filter baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.weighted_bloom import WeightedBloomFilter
+from repro.errors import ConfigurationError
+from repro.metrics.fpr import weighted_fpr
+
+
+def make_keys(prefix, count):
+    return [f"{prefix}.{i}" for i in range(count)]
+
+
+class TestConstruction:
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            WeightedBloomFilter(num_bits=0, default_hashes=3)
+        with pytest.raises(ConfigurationError):
+            WeightedBloomFilter(num_bits=100, default_hashes=0)
+        with pytest.raises(ConfigurationError):
+            WeightedBloomFilter(num_bits=100, default_hashes=5, max_hashes=3)
+        with pytest.raises(ConfigurationError):
+            WeightedBloomFilter(num_bits=100, default_hashes=3, cache_fraction=1.5)
+
+    def test_build_requires_positives(self):
+        with pytest.raises(ConfigurationError):
+            WeightedBloomFilter.build(positives=[], negatives=["x"])
+
+    def test_cache_populated_from_expensive_negatives(self):
+        positives = make_keys("p", 300)
+        negatives = make_keys("n", 300)
+        costs = {key: float(i) for i, key in enumerate(negatives)}
+        wbf = WeightedBloomFilter.build(
+            positives, negatives, costs, bits_per_key=10, cache_fraction=0.1
+        )
+        assert wbf.cache_size == 30
+        most_expensive = negatives[-1]
+        cheapest = negatives[0]
+        assert wbf.cached_hashes(most_expensive) is not None
+        assert wbf.cached_hashes(most_expensive) > wbf.default_hashes
+        assert wbf.cached_hashes(cheapest) is None
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        positives = make_keys("p", 1000)
+        negatives = make_keys("n", 1000)
+        costs = {key: 1.0 + (i % 7) for i, key in enumerate(negatives)}
+        wbf = WeightedBloomFilter.build(positives, negatives, costs, bits_per_key=10)
+        assert all(key in wbf for key in positives)
+
+    def test_expensive_negatives_get_better_protection(self):
+        positives = make_keys("p", 2000)
+        negatives = make_keys("n", 2000)
+        # Top 10% of negatives carry huge costs.
+        costs = {key: (500.0 if i % 10 == 0 else 1.0) for i, key in enumerate(negatives)}
+        wbf = WeightedBloomFilter.build(
+            positives, negatives, costs, bits_per_key=6, cache_fraction=0.1
+        )
+        plain = WeightedBloomFilter.build(
+            positives, [], {}, bits_per_key=6, cache_fraction=0.0
+        )
+        assert weighted_fpr(wbf, negatives, costs) <= weighted_fpr(plain, negatives, costs)
+
+    def test_uncached_keys_use_default_hashes(self):
+        wbf = WeightedBloomFilter(num_bits=1000, default_hashes=4)
+        wbf.add("present")
+        assert "present" in wbf
+        assert wbf.cached_hashes("present") is None
+
+
+class TestAccounting:
+    def test_sizes(self):
+        positives = make_keys("p", 100)
+        wbf = WeightedBloomFilter.build(positives, total_bits=1000)
+        assert wbf.size_in_bits() == 1000
+        assert wbf.size_in_bytes() == 125
+
+    def test_cache_memory_accounted_separately(self):
+        positives = make_keys("p", 200)
+        negatives = make_keys("n", 200)
+        costs = {key: float(i) for i, key in enumerate(negatives)}
+        wbf = WeightedBloomFilter.build(positives, negatives, costs, bits_per_key=8)
+        assert wbf.cache_size_in_bytes() > 0
+        no_cache = WeightedBloomFilter.build(positives, [], {}, bits_per_key=8)
+        assert no_cache.cache_size_in_bytes() == 0

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite: small deterministic datasets and params."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.params import HABFParams
+from repro.workloads.dataset import MembershipDataset
+from repro.workloads.shalla import generate_shalla_like
+from repro.workloads.ycsb import generate_ycsb_like
+from repro.workloads.zipf import assign_zipf_costs
+
+
+@pytest.fixture(scope="session")
+def small_shalla() -> MembershipDataset:
+    """A small Shalla-like dataset reused across tests (session-scoped, read-only)."""
+    return generate_shalla_like(num_positives=1200, num_negatives=1200, seed=101)
+
+
+@pytest.fixture(scope="session")
+def small_ycsb() -> MembershipDataset:
+    """A small YCSB-like dataset reused across tests (session-scoped, read-only)."""
+    return generate_ycsb_like(num_positives=1200, num_negatives=1100, seed=101)
+
+
+@pytest.fixture(scope="session")
+def skewed_costs(small_shalla) -> dict:
+    """Zipf(1.0) costs over the small Shalla negatives."""
+    return assign_zipf_costs(small_shalla.negatives, skewness=1.0, seed=101)
+
+
+@pytest.fixture()
+def default_params(small_shalla) -> HABFParams:
+    """Default HABF parameters at 10 bits per key for the small Shalla dataset."""
+    return HABFParams.from_bits_per_key(10.0, small_shalla.num_positives, seed=5)
+
+
+@pytest.fixture()
+def tiny_keys() -> list:
+    """A handful of string keys for unit tests that do not need a dataset."""
+    rng = random.Random(7)
+    return [f"key-{rng.randrange(10**9)}-{i}" for i in range(64)]

@@ -1,0 +1,133 @@
+"""Unit tests for the BitArray."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bitarray import BitArray
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_starts_empty(self):
+        bits = BitArray(100)
+        assert len(bits) == 100
+        assert bits.count() == 0
+        assert bits.fill_ratio() == 0.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            BitArray(0)
+        with pytest.raises(ConfigurationError):
+            BitArray(-5)
+
+    def test_from_indices(self):
+        bits = BitArray.from_indices(16, [0, 3, 15])
+        assert bits.test(0) and bits.test(3) and bits.test(15)
+        assert bits.count() == 3
+
+
+class TestSetTestClear:
+    def test_set_and_test(self):
+        bits = BitArray(64)
+        bits.set(10)
+        assert bits.test(10)
+        assert not bits.test(11)
+
+    def test_clear(self):
+        bits = BitArray(64)
+        bits.set(10)
+        bits.clear(10)
+        assert not bits.test(10)
+
+    def test_setitem_getitem(self):
+        bits = BitArray(8)
+        bits[3] = True
+        assert bits[3]
+        bits[3] = False
+        assert not bits[3]
+
+    def test_negative_index_wraps(self):
+        bits = BitArray(10)
+        bits.set(-1)
+        assert bits.test(9)
+
+    def test_out_of_range(self):
+        bits = BitArray(10)
+        with pytest.raises(IndexError):
+            bits.set(10)
+        with pytest.raises(IndexError):
+            bits.test(-11)
+
+    def test_boundary_bits(self):
+        """Bits at byte boundaries and the final partial byte behave correctly."""
+        bits = BitArray(17)
+        for index in (0, 7, 8, 15, 16):
+            bits.set(index)
+            assert bits.test(index)
+        assert bits.count() == 5
+
+    def test_set_is_idempotent(self):
+        bits = BitArray(32)
+        bits.set(5)
+        bits.set(5)
+        assert bits.count() == 1
+
+
+class TestBulkOperations:
+    def test_set_all_and_test_all(self):
+        bits = BitArray(50)
+        bits.set_all([1, 2, 3])
+        assert bits.test_all([1, 2, 3])
+        assert not bits.test_all([1, 2, 4])
+
+    def test_count_and_fill_ratio(self):
+        bits = BitArray(10)
+        bits.set_all(range(5))
+        assert bits.count() == 5
+        assert bits.fill_ratio() == pytest.approx(0.5)
+
+    def test_reset(self):
+        bits = BitArray(40)
+        bits.set_all(range(0, 40, 3))
+        bits.reset()
+        assert bits.count() == 0
+
+    def test_iter_set_bits(self):
+        bits = BitArray(30)
+        indices = [0, 7, 8, 13, 29]
+        bits.set_all(indices)
+        assert list(bits.iter_set_bits()) == indices
+
+    def test_copy_is_independent(self):
+        bits = BitArray(16)
+        bits.set(3)
+        clone = bits.copy()
+        clone.set(4)
+        assert not bits.test(4)
+        assert clone.test(3)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        bits = BitArray(19)
+        bits.set_all([0, 5, 18])
+        restored = BitArray.from_bytes(19, bits.to_bytes())
+        assert restored == bits
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitArray.from_bytes(19, b"\x00")
+
+    def test_size_in_bytes(self):
+        assert BitArray(8).size_in_bytes() == 1
+        assert BitArray(9).size_in_bytes() == 2
+        assert BitArray(64).size_in_bytes() == 8
+
+    def test_equality(self):
+        a = BitArray(8)
+        b = BitArray(8)
+        assert a == b
+        b.set(1)
+        assert a != b
+        assert a != "not a bitarray"

@@ -1,0 +1,130 @@
+"""Unit tests for the standard Bloom filter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bloom import BloomFilter, optimal_num_hashes
+from repro.errors import ConfigurationError
+from repro.hashing.double_hashing import DoubleHashFamily
+from repro.hashing.registry import build_family
+
+
+class TestOptimalNumHashes:
+    def test_ln2_rule(self):
+        assert optimal_num_hashes(10) == 7
+        assert optimal_num_hashes(8) == 6
+        assert optimal_num_hashes(1) == 1
+
+    def test_minimum_is_one(self):
+        assert optimal_num_hashes(0.5) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            optimal_num_hashes(0)
+
+
+class TestConstruction:
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(num_bits=0, num_hashes=3)
+        with pytest.raises(ConfigurationError):
+            BloomFilter(num_bits=100, num_hashes=0)
+        with pytest.raises(ConfigurationError):
+            BloomFilter(num_bits=100, num_hashes=23)  # larger than Table II
+
+    def test_selection_length_must_match(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(num_bits=100, num_hashes=3, selection=[0, 1])
+
+    def test_custom_family(self):
+        family = build_family(["fnv", "djb", "sdbm"])
+        bloom = BloomFilter(num_bits=128, num_hashes=2, family=family)
+        assert bloom.family is family
+        assert bloom.initial_selection == [0, 1]
+
+    def test_double_hash_family(self):
+        family = DoubleHashFamily(size=4)
+        bloom = BloomFilter(num_bits=256, num_hashes=4, family=family)
+        bloom.add("key")
+        assert bloom.contains("key")
+
+
+class TestMembership:
+    def test_no_false_negatives(self, tiny_keys):
+        bloom = BloomFilter(num_bits=1024, num_hashes=4)
+        bloom.add_all(tiny_keys)
+        assert all(bloom.contains(key) for key in tiny_keys)
+        assert all(key in bloom for key in tiny_keys)
+
+    def test_empty_filter_rejects_everything(self, tiny_keys):
+        bloom = BloomFilter(num_bits=1024, num_hashes=4)
+        assert not any(bloom.contains(key) for key in tiny_keys)
+
+    def test_fpr_is_reasonable(self):
+        positives = [f"member-{i}" for i in range(1000)]
+        negatives = [f"other-{i}" for i in range(2000)]
+        bloom = BloomFilter(num_bits=10_000, num_hashes=7)
+        bloom.add_all(positives)
+        false_positives = sum(1 for key in negatives if key in bloom)
+        # Analytic FPR at 10 bits/key, k=7 is ~0.8%; allow generous headroom.
+        assert false_positives / len(negatives) < 0.05
+
+    def test_expected_fpr_tracks_load(self):
+        bloom = BloomFilter(num_bits=1000, num_hashes=4)
+        assert bloom.expected_fpr() == 0.0
+        bloom.add_all(f"k{i}" for i in range(100))
+        mid = bloom.expected_fpr()
+        bloom.add_all(f"j{i}" for i in range(400))
+        assert bloom.expected_fpr() > mid > 0.0
+
+    def test_int_and_bytes_keys(self):
+        bloom = BloomFilter(num_bits=512, num_hashes=3)
+        bloom.add(12345)
+        bloom.add(b"\x00\x01binary")
+        assert 12345 in bloom
+        assert b"\x00\x01binary" in bloom
+
+
+class TestSelections:
+    def test_contains_with_alternate_selection(self):
+        bloom = BloomFilter(num_bits=2048, num_hashes=3)
+        bloom.add_with_selection("special", [5, 6, 7])
+        assert bloom.contains_with_selection("special", [5, 6, 7])
+        # With an untouched, very sparse filter the default H0 should miss.
+        assert not bloom.contains("special")
+
+    def test_bit_positions_match_selection(self):
+        bloom = BloomFilter(num_bits=997, num_hashes=3)
+        default_positions = bloom.bit_positions("k")
+        explicit = bloom.bit_positions("k", bloom.initial_selection)
+        assert default_positions == explicit
+        assert len(default_positions) == 3
+        assert all(0 <= p < 997 for p in default_positions)
+
+    def test_set_and_clear_position(self):
+        bloom = BloomFilter(num_bits=64, num_hashes=2)
+        bloom.set_position(10)
+        assert bloom.bits.test(10)
+        bloom.clear_position(10)
+        assert not bloom.bits.test(10)
+
+
+class TestAccounting:
+    def test_sizes(self):
+        bloom = BloomFilter(num_bits=100, num_hashes=2)
+        assert bloom.size_in_bits() == 100
+        assert bloom.size_in_bytes() == 13
+        assert bloom.num_bits == 100
+        assert bloom.num_hashes == 2
+
+    def test_num_items(self):
+        bloom = BloomFilter(num_bits=100, num_hashes=2)
+        bloom.add_all(["a", "b", "c"])
+        assert bloom.num_items == 3
+
+    def test_fill_ratio_increases(self):
+        bloom = BloomFilter(num_bits=100, num_hashes=2)
+        before = bloom.fill_ratio()
+        bloom.add("x")
+        assert bloom.fill_ratio() > before

@@ -1,0 +1,150 @@
+"""Unit tests for HABF and FastHABF."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bloom import BloomFilter, optimal_num_hashes
+from repro.core.habf import HABF, FastHABF
+from repro.core.params import HABFParams
+from repro.errors import ConfigurationError, ConstructionError
+from repro.metrics.fpr import false_positive_rate, weighted_fpr
+
+
+def make_keys(prefix, count):
+    return [f"{prefix}:{i}" for i in range(count)]
+
+
+class TestConstruction:
+    def test_build_requires_positives(self):
+        with pytest.raises(ConstructionError):
+            HABF.build(positives=[], negatives=["x"])
+
+    def test_disjointness_enforced(self):
+        with pytest.raises(ConstructionError):
+            HABF.build(positives=["a", "b"], negatives=["b", "c"], bits_per_key=16)
+
+    def test_double_fit_rejected(self):
+        habf = HABF.build(positives=make_keys("p", 50), negatives=make_keys("n", 50), bits_per_key=12)
+        with pytest.raises(ConstructionError):
+            habf.fit(make_keys("p", 50))
+
+    def test_k_cannot_exceed_family(self):
+        params = HABFParams(total_bits=10_000, k=3)
+        HABF(params)  # fine
+        with pytest.raises(ConfigurationError):
+            HABF(HABFParams(total_bits=10_000, k=23))
+
+    def test_params_derived_from_bits_per_key(self):
+        positives = make_keys("p", 300)
+        habf = HABF.build(positives, make_keys("n", 300), bits_per_key=9.0)
+        assert habf.params.total_bits == pytest.approx(9 * 300, abs=1)
+
+    def test_zero_delta_degenerates_to_bloom(self):
+        positives = make_keys("p", 300)
+        negatives = make_keys("n", 300)
+        params = HABFParams(total_bits=3000, delta=0.0)
+        habf = HABF.build(positives, negatives, params=params)
+        assert habf.expressor is None
+        assert all(key in habf for key in positives)
+
+    def test_no_negatives_still_builds(self):
+        positives = make_keys("p", 200)
+        habf = HABF.build(positives, negatives=[], bits_per_key=10)
+        assert all(key in habf for key in positives)
+        assert habf.construction_stats.initial_collisions == 0
+
+
+class TestZeroFalseNegatives:
+    @pytest.mark.parametrize("bits_per_key", [6.0, 8.0, 12.0])
+    def test_all_positives_found(self, bits_per_key):
+        positives = make_keys("member", 1000)
+        negatives = make_keys("outsider", 1000)
+        habf = HABF.build(positives, negatives, bits_per_key=bits_per_key)
+        assert all(key in habf for key in positives)
+
+    def test_fast_habf_has_no_false_negatives(self):
+        positives = make_keys("member", 800)
+        negatives = make_keys("outsider", 800)
+        fast = FastHABF.build(positives, negatives, bits_per_key=8.0)
+        assert all(key in fast for key in positives)
+
+    def test_contains_many_matches_contains(self):
+        positives = make_keys("p", 100)
+        negatives = make_keys("n", 100)
+        habf = HABF.build(positives, negatives, bits_per_key=10)
+        sample = positives[:10] + negatives[:10]
+        assert habf.contains_many(sample) == [habf.contains(k) for k in sample]
+
+
+class TestAccuracy:
+    def test_beats_equal_space_bloom_filter(self, small_shalla):
+        """The headline claim: at equal space, HABF has fewer false positives."""
+        dataset = small_shalla
+        total_bits = int(8 * dataset.num_positives)
+        params = HABFParams(total_bits=total_bits, seed=3)
+        habf = HABF.build(dataset.positives, dataset.negatives, params=params)
+        bloom = BloomFilter(num_bits=total_bits, num_hashes=optimal_num_hashes(8))
+        bloom.add_all(dataset.positives)
+        habf_fpr = false_positive_rate(habf, dataset.negatives)
+        bloom_fpr = false_positive_rate(bloom, dataset.negatives)
+        assert habf_fpr < bloom_fpr
+
+    def test_cost_awareness_lowers_weighted_fpr(self, small_shalla, skewed_costs):
+        """Supplying skewed costs must protect the expensive keys specifically."""
+        dataset = small_shalla
+        total_bits = int(7 * dataset.num_positives)
+        aware = HABF.build(
+            dataset.positives,
+            dataset.negatives,
+            costs=skewed_costs,
+            params=HABFParams(total_bits=total_bits, seed=3),
+        )
+        weighted = weighted_fpr(aware, dataset.negatives, skewed_costs)
+        unweighted = false_positive_rate(aware, dataset.negatives)
+        # The weighted FPR should not exceed the unweighted one when the
+        # optimiser explicitly protects the heavy keys first.
+        assert weighted <= unweighted + 1e-9
+
+    def test_fast_habf_trades_accuracy_for_speed(self, small_shalla):
+        dataset = small_shalla
+        total_bits = int(8 * dataset.num_positives)
+        params = HABFParams(total_bits=total_bits, seed=3)
+        habf = HABF.build(dataset.positives, dataset.negatives, params=params)
+        fast = FastHABF.build(dataset.positives, dataset.negatives, params=params)
+        habf_fpr = false_positive_rate(habf, dataset.negatives)
+        fast_fpr = false_positive_rate(fast, dataset.negatives)
+        bloom = BloomFilter(num_bits=total_bits, num_hashes=optimal_num_hashes(8))
+        bloom.add_all(dataset.positives)
+        bloom_fpr = false_positive_rate(bloom, dataset.negatives)
+        # f-HABF sits between HABF and the plain Bloom filter (with slack for noise).
+        assert fast_fpr <= bloom_fpr
+        assert habf_fpr <= fast_fpr + 0.01
+
+
+class TestAccounting:
+    def test_size_within_budget(self):
+        positives = make_keys("p", 500)
+        negatives = make_keys("n", 500)
+        params = HABFParams(total_bits=5000)
+        habf = HABF.build(positives, negatives, params=params)
+        assert habf.size_in_bits() <= params.total_bits
+        assert habf.size_in_bytes() == (habf.size_in_bits() + 7) // 8
+
+    def test_construction_stats_exposed(self):
+        positives = make_keys("p", 400)
+        negatives = make_keys("n", 400)
+        habf = HABF.build(positives, negatives, bits_per_key=7)
+        stats = habf.construction_stats
+        assert stats is not None
+        assert stats.num_positive == 400
+        assert stats.num_negative == 400
+
+    def test_algorithm_names(self):
+        assert HABF.algorithm_name == "HABF"
+        assert FastHABF.algorithm_name == "f-HABF"
+
+    def test_repr_mentions_components(self):
+        habf = HABF.build(make_keys("p", 50), make_keys("n", 50), bits_per_key=12)
+        text = repr(habf)
+        assert "HABF" in text and "k=" in text

@@ -1,0 +1,97 @@
+"""Unit tests for HABFParams and SpaceBudget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import HABFParams, SpaceBudget
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_are_the_papers_optima(self):
+        params = HABFParams(total_bits=10_000)
+        assert params.k == 3
+        assert params.delta == 0.25
+        assert params.cell_hash_bits == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"total_bits": 0},
+            {"total_bits": -1},
+            {"total_bits": 100, "k": 0},
+            {"total_bits": 100, "delta": -0.1},
+            {"total_bits": 100, "delta": 1.0},
+            {"total_bits": 100, "cell_hash_bits": 0},
+            {"total_bits": 100, "cell_hash_bits": 17},
+            {"total_bits": 100, "max_queue_passes": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            HABFParams(**kwargs)
+
+
+class TestDerivedQuantities:
+    def test_space_split(self):
+        params = HABFParams(total_bits=1000, delta=0.25)
+        assert params.expressor_bits == 250
+        assert params.bloom_bits == 750
+        assert params.expressor_bits + params.bloom_bits == 1000
+
+    def test_zero_delta_means_no_expressor(self):
+        params = HABFParams(total_bits=1000, delta=0.0)
+        assert params.expressor_bits == 0
+        assert params.num_cells == 0
+        assert params.bloom_bits == 1000
+
+    def test_cell_accounting(self):
+        params = HABFParams(total_bits=1000, delta=0.25, cell_hash_bits=4)
+        assert params.cell_bits == 5
+        assert params.num_cells == 250 // 5
+        assert params.max_hash_functions == 15
+
+    def test_bits_per_key(self):
+        params = HABFParams(total_bits=1000)
+        assert params.bits_per_key(100) == pytest.approx(10.0)
+        with pytest.raises(ConfigurationError):
+            params.bits_per_key(0)
+
+    def test_with_total_bits_preserves_other_fields(self):
+        params = HABFParams(total_bits=1000, k=5, delta=0.3, cell_hash_bits=3)
+        resized = params.with_total_bits(2000)
+        assert resized.total_bits == 2000
+        assert resized.k == 5
+        assert resized.delta == 0.3
+        assert resized.cell_hash_bits == 3
+
+    def test_from_bits_per_key(self):
+        params = HABFParams.from_bits_per_key(8.0, 500)
+        assert params.total_bits == 4000
+        with pytest.raises(ConfigurationError):
+            HABFParams.from_bits_per_key(0.0, 500)
+        with pytest.raises(ConfigurationError):
+            HABFParams.from_bits_per_key(8.0, 0)
+
+
+class TestSpaceBudget:
+    def test_bits_conversion(self):
+        budget = SpaceBudget(megabytes=1.0)
+        assert budget.bits == 8 * 1024 * 1024
+
+    def test_scale(self):
+        scaled = SpaceBudget(megabytes=2.0, scale=0.5)
+        assert scaled.bits == 8 * 1024 * 1024
+
+    def test_params_passthrough(self):
+        params = SpaceBudget(megabytes=0.001).params(k=4, delta=0.2)
+        assert params.k == 4
+        assert params.delta == 0.2
+        assert params.total_bits == SpaceBudget(megabytes=0.001).bits
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            SpaceBudget(megabytes=0)
+        with pytest.raises(ConfigurationError):
+            SpaceBudget(megabytes=1, scale=0)

@@ -1,0 +1,126 @@
+"""Unit tests for the TPJO optimizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.core.hash_expressor import HashExpressor
+from repro.core.params import HABFParams
+from repro.core.tpjo import TPJOOptimizer
+from repro.hashing.registry import GLOBAL_HASH_FAMILY
+
+
+def build_components(num_positives=800, bits_per_key=8.0, k=3, seed=3):
+    params = HABFParams.from_bits_per_key(bits_per_key, num_positives, k=k, seed=seed)
+    bloom = BloomFilter(num_bits=params.bloom_bits, num_hashes=k)
+    expressor = HashExpressor(
+        num_cells=params.num_cells,
+        cell_hash_bits=params.cell_hash_bits,
+        family=GLOBAL_HASH_FAMILY,
+    )
+    return params, bloom, expressor
+
+
+def make_keys(prefix, count):
+    return [f"{prefix}-{i}" for i in range(count)]
+
+
+class TestOptimization:
+    def test_reduces_false_positives(self):
+        positives = make_keys("pos", 800)
+        negatives = make_keys("neg", 800)
+        params, bloom, expressor = build_components()
+        optimizer = TPJOOptimizer(bloom, expressor, params)
+        stats = optimizer.optimize(positives, negatives)
+
+        remaining = sum(1 for key in negatives if bloom.contains(key))
+        assert stats.initial_collisions > 0
+        assert stats.optimized > 0
+        assert remaining <= stats.initial_collisions
+        assert stats.optimized + stats.failed >= stats.initial_collisions
+
+    def test_zero_fnr_through_selections(self):
+        """Every positive key must still hit under its final hash selection."""
+        positives = make_keys("pos", 500)
+        negatives = make_keys("neg", 500)
+        params, bloom, expressor = build_components(num_positives=500)
+        optimizer = TPJOOptimizer(bloom, expressor, params)
+        optimizer.optimize(positives, negatives)
+        for key in positives:
+            selection = optimizer.selection_for(key)
+            assert bloom.contains_with_selection(key, selection)
+
+    def test_adjusted_keys_are_retrievable_from_expressor(self):
+        positives = make_keys("pos", 600)
+        negatives = make_keys("neg", 600)
+        params, bloom, expressor = build_components(num_positives=600)
+        optimizer = TPJOOptimizer(bloom, expressor, params)
+        optimizer.optimize(positives, negatives)
+        for key in optimizer.adjusted_keys:
+            retrieved = expressor.query(key, params.k)
+            assert retrieved is not None
+            assert sorted(retrieved) == sorted(optimizer.selection_for(key))
+
+    def test_costs_prioritise_expensive_negatives(self):
+        """High-cost collision keys should be resolved preferentially."""
+        positives = make_keys("pos", 1500)
+        negatives = make_keys("neg", 1500)
+        # Tight space so that plenty of collisions exist and some must fail.
+        params, bloom, expressor = build_components(num_positives=1500, bits_per_key=5.0)
+        costs = {key: (1000.0 if i % 10 == 0 else 0.1) for i, key in enumerate(negatives)}
+        optimizer = TPJOOptimizer(bloom, expressor, params)
+        optimizer.optimize(positives, negatives, costs)
+
+        expensive_fp = sum(
+            costs[key]
+            for key in negatives
+            if costs[key] > 1.0 and bloom.contains(key)
+        )
+        cheap_fp_count = sum(
+            1 for key in negatives if costs[key] <= 1.0 and bloom.contains(key)
+        )
+        total_expensive = sum(cost for cost in costs.values() if cost > 1.0)
+        # The expensive slice of the cost mass should be almost fully protected.
+        assert expensive_fp / total_expensive < 0.02
+        assert cheap_fp_count >= 0  # cheap keys may remain false positives
+
+    def test_no_negatives_is_a_noop(self):
+        positives = make_keys("pos", 200)
+        params, bloom, expressor = build_components(num_positives=200)
+        optimizer = TPJOOptimizer(bloom, expressor, params)
+        stats = optimizer.optimize(positives, [])
+        assert stats.initial_collisions == 0
+        assert stats.optimized == 0
+        assert all(bloom.contains(key) for key in positives)
+
+    def test_gamma_disabled_still_works(self):
+        positives = make_keys("pos", 600)
+        negatives = make_keys("neg", 600)
+        params, bloom, expressor = build_components(num_positives=600)
+        optimizer = TPJOOptimizer(bloom, expressor, params, use_gamma=False)
+        stats = optimizer.optimize(positives, negatives)
+        assert stats.optimized > 0
+        for key in positives:
+            assert bloom.contains_with_selection(key, optimizer.selection_for(key))
+
+    def test_selection_for_unadjusted_key_is_h0(self):
+        positives = make_keys("pos", 100)
+        params, bloom, expressor = build_components(num_positives=100)
+        optimizer = TPJOOptimizer(bloom, expressor, params)
+        optimizer.optimize(positives, make_keys("neg", 100))
+        unadjusted = [key for key in positives if key not in optimizer.adjusted_keys]
+        assert unadjusted, "at this density some keys must remain unadjusted"
+        assert optimizer.selection_for(unadjusted[0]) == bloom.initial_selection
+
+    def test_stats_counts_are_consistent(self):
+        positives = make_keys("pos", 700)
+        negatives = make_keys("neg", 700)
+        params, bloom, expressor = build_components(num_positives=700)
+        optimizer = TPJOOptimizer(bloom, expressor, params)
+        stats = optimizer.optimize(positives, negatives)
+        assert stats.num_positive == 700
+        assert stats.num_negative == 700
+        assert stats.queue_passes >= stats.initial_collisions
+        assert stats.adjusted_positive_keys == len(optimizer.adjusted_keys)
+        assert expressor.inserted_keys == stats.adjusted_positive_keys

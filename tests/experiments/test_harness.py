@@ -1,0 +1,145 @@
+"""Unit tests for the experiment harness: config, registry, report, runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import (
+    ExperimentConfig,
+    PAPER_SHALLA_POSITIVES,
+    PAPER_YCSB_POSITIVES,
+    QUICK_CONFIG,
+    mb_to_bits_per_key,
+)
+from repro.experiments.registry import (
+    FILTER_BUILDERS,
+    LEARNED_ALGORITHMS,
+    NON_LEARNED_ALGORITHMS,
+    build_filter,
+    list_algorithms,
+)
+from repro.experiments.report import ExperimentResult, format_table, rows_to_csv
+from repro.experiments.runner import averaged_skewed_sweep, sweep_space
+from repro.workloads.shalla import generate_shalla_like
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        config = ExperimentConfig()
+        assert config.shalla_positives > 0
+        assert QUICK_CONFIG.space_points <= config.space_points
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(shalla_positives=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(space_points=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(cost_shuffles=0)
+
+    def test_mb_to_bits_per_key_matches_paper(self):
+        # 1.5 MB over 1.49 M Shalla keys is ~8.4 bits/key in the paper.
+        value = mb_to_bits_per_key(1.5, PAPER_SHALLA_POSITIVES)
+        assert value == pytest.approx(8.44, abs=0.05)
+        value = mb_to_bits_per_key(15.0, PAPER_YCSB_POSITIVES)
+        assert value == pytest.approx(10.07, abs=0.05)
+
+    def test_space_sweeps_grow(self):
+        config = ExperimentConfig(space_points=5)
+        shalla = config.shalla_space_sweep()
+        assert len(shalla) == 5
+        bits = [b for _, b in shalla]
+        assert bits == sorted(bits)
+
+    def test_datasets_are_deterministic(self):
+        config = ExperimentConfig(shalla_positives=200, shalla_negatives=200)
+        a = config.shalla_dataset()
+        b = config.shalla_dataset()
+        assert a.positives == b.positives
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_registered(self):
+        names = list_algorithms()
+        for expected in ("HABF", "f-HABF", "BF", "Xor", "WBF", "LBF", "SLBF", "Ada-BF"):
+            assert expected in names
+        assert set(NON_LEARNED_ALGORITHMS) <= set(names)
+        assert set(LEARNED_ALGORITHMS) <= set(names)
+
+    def test_unknown_algorithm_rejected(self, small_shalla):
+        with pytest.raises(ConfigurationError):
+            build_filter("NotAFilter", small_shalla, 1000)
+
+    def test_invalid_budget_rejected(self, small_shalla):
+        with pytest.raises(ConfigurationError):
+            build_filter("BF", small_shalla, 0)
+
+    @pytest.mark.parametrize("name", ["HABF", "f-HABF", "BF", "Xor", "WBF", "BF(City64)", "BF(XXH128)"])
+    def test_non_learned_builders_produce_zero_fnr_filters(self, name, small_shalla):
+        dataset = small_shalla.subsample(num_positives=300, num_negatives=300, seed=2)
+        filt = build_filter(name, dataset, total_bits=10 * dataset.num_positives, seed=2)
+        assert all(filt.contains(key) for key in dataset.positives)
+
+    def test_builders_are_total_for_every_registered_name(self, small_shalla):
+        assert set(FILTER_BUILDERS) == set(list_algorithms())
+
+
+class TestReport:
+    def make_result(self):
+        return ExperimentResult(
+            experiment_id="figX",
+            title="toy",
+            rows=[
+                {"algorithm": "A", "space_mb": 1.0, "weighted_fpr": 0.25},
+                {"algorithm": "B", "space_mb": 1.0, "weighted_fpr": 0.5},
+                {"algorithm": "A", "space_mb": 2.0, "weighted_fpr": 0.1},
+            ],
+        )
+
+    def test_filter_rows_and_series(self):
+        result = self.make_result()
+        assert len(result.filter_rows(algorithm="A")) == 2
+        assert result.series("weighted_fpr", algorithm="A") == [0.25, 0.1]
+        assert result.filter_rows(algorithm="A", space_mb=2.0)[0]["weighted_fpr"] == 0.1
+
+    def test_columns_order(self):
+        assert self.make_result().columns() == ["algorithm", "space_mb", "weighted_fpr"]
+
+    def test_csv_round_trip(self):
+        csv_text = self.make_result().to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "algorithm,space_mb,weighted_fpr"
+        assert len(lines) == 4
+
+    def test_table_rendering(self):
+        table = self.make_result().to_table()
+        assert "algorithm" in table and "weighted_fpr" in table
+        assert format_table([]) == "(no rows)"
+        assert rows_to_csv([]) == ""
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def tiny_dataset(self):
+        return generate_shalla_like(400, 400, seed=11)
+
+    def test_sweep_space_produces_row_per_point_and_algorithm(self, tiny_dataset):
+        sweep = [(1.0, 8.0), (2.0, 12.0)]
+        rows = sweep_space(tiny_dataset, ["BF", "HABF"], sweep, seed=11)
+        assert len(rows) == 4
+        assert {row["algorithm"] for row in rows} == {"BF", "HABF"}
+        assert all(row["fnr"] == 0.0 for row in rows)
+
+    def test_habf_beats_bf_in_sweep(self, tiny_dataset):
+        rows = sweep_space(tiny_dataset, ["BF", "HABF"], [(1.0, 8.0)], seed=11)
+        by_algorithm = {row["algorithm"]: row for row in rows}
+        assert by_algorithm["HABF"]["weighted_fpr"] <= by_algorithm["BF"]["weighted_fpr"]
+
+    def test_averaged_skewed_sweep_averages(self, tiny_dataset):
+        rows = averaged_skewed_sweep(
+            tiny_dataset, ["BF"], [(1.0, 8.0)], skewness=1.0, num_shuffles=2, seed=11
+        )
+        assert len(rows) == 1
+        assert rows[0]["num_shuffles"] == 2
+        assert rows[0]["skewness"] == 1.0

@@ -1,0 +1,79 @@
+"""Unit tests for key normalisation and the HashFunction wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hashing.base import HashFunction, mix64, normalize_key
+from repro.hashing.primitives import fnv1a
+
+
+class TestNormalizeKey:
+    def test_bytes_pass_through(self):
+        assert normalize_key(b"abc") == b"abc"
+
+    def test_str_is_utf8_encoded(self):
+        assert normalize_key("abc") == b"abc"
+        assert normalize_key("héllo") == "héllo".encode("utf-8")
+
+    def test_small_ints_use_fixed_width(self):
+        assert normalize_key(0) == b"\x00" * 8
+        assert normalize_key(1) == b"\x01" + b"\x00" * 7
+        assert len(normalize_key((1 << 64) - 1)) == 8
+
+    def test_large_and_negative_ints_round_trip(self):
+        big = 1 << 100
+        assert int.from_bytes(normalize_key(big), "little", signed=True) == big
+        neg = -12345
+        assert int.from_bytes(normalize_key(neg), "little", signed=True) == neg
+
+    def test_distinct_ints_normalize_distinctly(self):
+        values = {normalize_key(i) for i in range(1000)}
+        assert len(values) == 1000
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            normalize_key(3.14)
+        with pytest.raises(TypeError):
+            normalize_key(["list"])
+
+
+class TestMix64:
+    def test_range(self):
+        for value in (0, 1, 12345, (1 << 64) - 1):
+            assert 0 <= mix64(value) < (1 << 64)
+
+    def test_bijective_on_sample(self):
+        outputs = {mix64(i) for i in range(10_000)}
+        assert len(outputs) == 10_000
+
+
+class TestHashFunction:
+    def setup_method(self):
+        self.fn = HashFunction(name="fnv", index=0, primitive=fnv1a)
+
+    def test_call_reduces_into_modulus(self):
+        for modulus in (1, 2, 17, 1024):
+            assert 0 <= self.fn("some-key", modulus) < modulus
+
+    def test_zero_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            self.fn("key", 0)
+
+    def test_str_and_equivalent_bytes_hash_identically(self):
+        assert self.fn.raw("abc") == self.fn.raw(b"abc")
+
+    def test_with_seed_changes_output(self):
+        seeded = self.fn.with_seed(99)
+        assert seeded.seed == 99
+        assert seeded.raw("key") != self.fn.raw("key")
+
+    def test_different_seeds_differ(self):
+        a = self.fn.with_seed(1)
+        b = self.fn.with_seed(2)
+        collisions = sum(1 for i in range(200) if a.raw(f"k{i}") == b.raw(f"k{i}"))
+        assert collisions == 0
+
+    def test_frozen_dataclass(self):
+        with pytest.raises(AttributeError):
+            self.fn.seed = 3  # type: ignore[misc]

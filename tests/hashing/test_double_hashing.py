@@ -1,0 +1,56 @@
+"""Unit tests for the Kirsch–Mitzenmacher double-hashing family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hashing.double_hashing import DoubleHashFamily, double_hashing_family
+
+
+class TestDoubleHashFamily:
+    def test_size_and_indexes(self):
+        family = DoubleHashFamily(size=8, primitive="xxhash")
+        assert len(family) == 8
+        assert [fn.index for fn in family] == list(range(8))
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            DoubleHashFamily(size=0)
+
+    def test_invalid_primitive(self):
+        with pytest.raises(ConfigurationError):
+            DoubleHashFamily(size=4, primitive="definitely-not-a-hash")
+
+    def test_simulated_hashes_disagree(self):
+        family = DoubleHashFamily(size=10, primitive="cityhash")
+        positions = {fn("some-key", 1_000_003) for fn in family}
+        assert len(positions) >= 9
+
+    def test_deterministic(self):
+        a = DoubleHashFamily(size=4, primitive="xxhash", seed=3)
+        b = DoubleHashFamily(size=4, primitive="xxhash", seed=3)
+        for i in range(4):
+            assert a[i]("k", 997) == b[i]("k", 997)
+
+    def test_seed_changes_mapping(self):
+        a = DoubleHashFamily(size=4, primitive="xxhash", seed=1)
+        b = DoubleHashFamily(size=4, primitive="xxhash", seed=2)
+        differing = sum(1 for i in range(4) if a[i]("k", 10_007) != b[i]("k", 10_007))
+        assert differing >= 3
+
+    def test_interface_matches_hash_family(self):
+        family = double_hashing_family(6)
+        assert family.initial_selection(3) == [0, 1, 2]
+        assert len(family.subset([0, 5])) == 2
+        assert len(family.names()) == 6
+
+    def test_initial_selection_bounds(self):
+        family = double_hashing_family(4)
+        with pytest.raises(ConfigurationError):
+            family.initial_selection(5)
+
+    def test_modulus_validation(self):
+        family = double_hashing_family(2)
+        with pytest.raises(ValueError):
+            family[0]("key", 0)

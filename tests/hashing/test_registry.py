@@ -1,0 +1,96 @@
+"""Unit tests for the HashFamily registry (Table II)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownHashError
+from repro.hashing.base import HashFunction
+from repro.hashing.primitives import PRIMITIVES, fnv1a
+from repro.hashing.registry import (
+    GLOBAL_HASH_FAMILY,
+    HashFamily,
+    build_family,
+    get_primitive,
+    list_hash_names,
+)
+
+
+class TestGlobalFamily:
+    def test_matches_table_ii_size(self):
+        assert len(GLOBAL_HASH_FAMILY) == 22
+
+    def test_indexes_are_sequential(self):
+        for expected, fn in enumerate(GLOBAL_HASH_FAMILY):
+            assert fn.index == expected
+
+    def test_names_match_primitives(self):
+        assert GLOBAL_HASH_FAMILY.names() == list(PRIMITIVES)
+
+    def test_getitem_out_of_range(self):
+        with pytest.raises(UnknownHashError):
+            GLOBAL_HASH_FAMILY[99]
+
+    def test_members_produce_different_positions(self):
+        """Distinct family members should disagree on where a key maps."""
+        key = "disagreement-test-key"
+        positions = {fn(key, 10_007) for fn in GLOBAL_HASH_FAMILY}
+        assert len(positions) >= 18  # near-universal disagreement
+
+
+class TestHashFamilyConstruction:
+    def test_empty_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HashFamily([])
+
+    def test_wrong_indexes_rejected(self):
+        functions = [HashFunction(name="fnv", index=1, primitive=fnv1a)]
+        with pytest.raises(ConfigurationError):
+            HashFamily(functions)
+
+    def test_build_family_subset(self):
+        family = build_family(["fnv", "djb", "murmur3"])
+        assert len(family) == 3
+        assert family.names() == ["fnv", "djb", "murmur3"]
+
+    def test_build_family_unknown_name(self):
+        with pytest.raises(UnknownHashError):
+            build_family(["not-a-hash"])
+
+    def test_repeated_names_get_distinct_seeds(self):
+        family = build_family(["xxhash", "xxhash", "xxhash"], seed=5)
+        outputs = {fn.raw("key") for fn in family}
+        assert len(outputs) == 3
+
+    def test_get_primitive(self):
+        assert get_primitive("fnv") is PRIMITIVES["fnv"]
+        with pytest.raises(UnknownHashError):
+            get_primitive("nope")
+
+    def test_list_hash_names_is_copy(self):
+        names = list_hash_names()
+        names.append("bogus")
+        assert "bogus" not in list_hash_names()
+
+
+class TestSelections:
+    def test_initial_selection(self):
+        assert GLOBAL_HASH_FAMILY.initial_selection(3) == [0, 1, 2]
+
+    def test_initial_selection_bounds(self):
+        with pytest.raises(ConfigurationError):
+            GLOBAL_HASH_FAMILY.initial_selection(0)
+        with pytest.raises(ConfigurationError):
+            GLOBAL_HASH_FAMILY.initial_selection(23)
+
+    def test_random_selection_distinct_and_in_range(self):
+        rng = random.Random(3)
+        selection = GLOBAL_HASH_FAMILY.random_selection(5, rng)
+        assert len(set(selection)) == 5
+        assert all(0 <= index < 22 for index in selection)
+
+    def test_subset_returns_requested_functions(self):
+        subset = GLOBAL_HASH_FAMILY.subset([3, 1, 7])
+        assert [fn.index for fn in subset] == [3, 1, 7]

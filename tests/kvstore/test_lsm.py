@@ -1,0 +1,130 @@
+"""Unit tests for the LSM tree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kvstore.filter_policy import BloomFilterPolicy, HABFFilterPolicy, NoFilterPolicy
+from repro.kvstore.lsm import LSMTree
+
+
+class TestValidation:
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            LSMTree(max_levels=0)
+        with pytest.raises(ConfigurationError):
+            LSMTree(level_fanout=0)
+        with pytest.raises(ConfigurationError):
+            LSMTree(level_cost_factor=0)
+
+
+class TestReadYourWrites:
+    def test_memtable_reads(self):
+        tree = LSMTree(memtable_capacity=100)
+        tree.put("a", 1)
+        assert tree.get("a") == 1
+        assert tree.get("b") is None
+
+    def test_reads_after_flush(self):
+        tree = LSMTree(memtable_capacity=10)
+        for i in range(35):
+            tree.put(f"k{i:03d}", i)
+        tree.flush()
+        for i in range(35):
+            assert tree.get(f"k{i:03d}") == i
+
+    def test_overwrite_across_flushes(self):
+        tree = LSMTree(memtable_capacity=4)
+        tree.put("key", "old")
+        tree.flush()
+        tree.put("key", "new")
+        tree.flush()
+        assert tree.get("key") == "new"
+
+    def test_delete_shadows_older_versions(self):
+        tree = LSMTree(memtable_capacity=4)
+        tree.put("key", "value")
+        tree.flush()
+        tree.delete("key")
+        tree.flush()
+        assert tree.get("key") is None
+        assert "key" not in tree
+
+    def test_contains(self):
+        tree = LSMTree()
+        tree.put("present", 1)
+        assert "present" in tree
+        assert "absent" not in tree
+
+
+class TestCompaction:
+    def test_compaction_bounds_table_count(self):
+        tree = LSMTree(memtable_capacity=16, max_levels=3, level_fanout=2)
+        for i in range(400):
+            tree.put(f"k{i:05d}", i)
+        tree.flush()
+        assert tree.num_tables() <= 2 * 3 + 1
+        # All data still readable after compactions.
+        for i in range(0, 400, 17):
+            assert tree.get(f"k{i:05d}") == i
+
+    def test_tombstones_dropped_at_bottom_level(self):
+        tree = LSMTree(memtable_capacity=8, max_levels=2, level_fanout=1)
+        for i in range(64):
+            tree.put(f"k{i:04d}", i)
+        for i in range(64):
+            tree.delete(f"k{i:04d}")
+        tree.flush()
+        for i in range(0, 64, 7):
+            assert tree.get(f"k{i:04d}") is None
+
+    def test_level_sizes_reported(self):
+        tree = LSMTree(memtable_capacity=8, max_levels=3)
+        for i in range(50):
+            tree.put(f"k{i:04d}", i)
+        tree.flush()
+        sizes = tree.level_sizes()
+        assert len(sizes) == 3
+        assert sum(sizes) == tree.num_tables()
+
+
+class TestFilterEffect:
+    def _populate_and_query(self, policy, negative_hints, costs):
+        tree = LSMTree(
+            memtable_capacity=64,
+            filter_policy=policy,
+            negative_hints=negative_hints,
+            negative_costs=costs,
+        )
+        for i in range(0, 2000, 2):
+            tree.put(f"row{i:05d}", i)
+        tree.flush()
+        for i in range(1, 2000, 2):
+            assert tree.get(f"row{i:05d}") is None
+        return tree.stats
+
+    def test_filters_cut_wasted_io(self):
+        missing = [f"row{i:05d}" for i in range(1, 2000, 2)]
+        costs = {key: 1.0 for key in missing}
+        none_stats = self._populate_and_query(NoFilterPolicy(), missing, costs)
+        bloom_stats = self._populate_and_query(BloomFilterPolicy(10), missing, costs)
+        habf_stats = self._populate_and_query(HABFFilterPolicy(10), missing, costs)
+        assert bloom_stats.wasted_io_cost < none_stats.wasted_io_cost
+        assert habf_stats.wasted_io_cost <= bloom_stats.wasted_io_cost
+        assert habf_stats.filter_rejections >= bloom_stats.filter_rejections
+
+    def test_stats_counters_consistent(self):
+        tree = LSMTree(memtable_capacity=32, filter_policy=BloomFilterPolicy(10))
+        for i in range(100):
+            tree.put(f"k{i:04d}", i)
+        tree.flush()
+        for i in range(100):
+            tree.get(f"k{i:04d}")
+        for i in range(100, 150):
+            tree.get(f"k{i:04d}")
+        stats = tree.stats
+        assert stats.gets == 150
+        assert stats.hits == 100
+        assert stats.misses == 50
+        assert stats.io_cost >= stats.wasted_io_cost

@@ -1,0 +1,62 @@
+"""Unit tests for the MemTable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kvstore.memtable import TOMBSTONE, MemTable
+
+
+class TestMemTable:
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            MemTable(capacity=0)
+
+    def test_put_and_get(self):
+        table = MemTable()
+        table.put("a", 1)
+        assert table.get("a") == (True, 1)
+        assert table.get("missing") == (False, None)
+
+    def test_overwrite(self):
+        table = MemTable()
+        table.put("a", 1)
+        table.put("a", 2)
+        assert table.get("a") == (True, 2)
+        assert len(table) == 1
+
+    def test_delete_leaves_tombstone(self):
+        table = MemTable()
+        table.put("a", 1)
+        table.delete("a")
+        found, value = table.get("a")
+        assert found and value is None
+        assert ("a", TOMBSTONE) in table.sorted_items()
+
+    def test_is_full(self):
+        table = MemTable(capacity=2)
+        table.put("a", 1)
+        assert not table.is_full()
+        table.put("b", 2)
+        assert table.is_full()
+
+    def test_sorted_items_and_iteration(self):
+        table = MemTable()
+        for key in ["c", "a", "b"]:
+            table.put(key, key.upper())
+        assert [key for key, _ in table.sorted_items()] == ["a", "b", "c"]
+        assert list(table) == ["a", "b", "c"]
+
+    def test_clear(self):
+        table = MemTable()
+        table.put("a", 1)
+        table.clear()
+        assert len(table) == 0
+        assert "a" not in table
+
+    def test_contains(self):
+        table = MemTable()
+        table.put("a", 1)
+        assert "a" in table
+        assert "b" not in table

@@ -1,0 +1,101 @@
+"""Unit tests for the SSTable and its filter policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kvstore.filter_policy import (
+    BloomFilterPolicy,
+    HABFFilterPolicy,
+    NoFilterPolicy,
+)
+from repro.kvstore.memtable import TOMBSTONE
+from repro.kvstore.sstable import SSTable
+
+
+def make_entries(count, step=1):
+    return [(f"key{i:05d}", f"value{i}") for i in range(0, count * step, step)]
+
+
+class TestConstruction:
+    def test_needs_entries(self):
+        with pytest.raises(ConfigurationError):
+            SSTable([])
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SSTable([("a", 1), ("a", 2)])
+
+    def test_negative_read_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SSTable([("a", 1)], read_cost=-1)
+
+    def test_entries_are_sorted(self):
+        table = SSTable([("b", 2), ("a", 1), ("c", 3)])
+        assert [key for key, _ in table.items()] == ["a", "b", "c"]
+        assert table.min_key == "a"
+        assert table.max_key == "c"
+        assert len(table) == 3
+
+
+class TestReads:
+    def test_hit_pays_read_cost(self):
+        table = SSTable(make_entries(100), read_cost=2.5)
+        found, value, cost = table.get("key00050")
+        assert found and value == "value50"
+        assert cost == 2.5
+        assert table.stats.reads == 1
+
+    def test_out_of_range_is_free(self):
+        table = SSTable(make_entries(10))
+        found, value, cost = table.get("zzz")
+        assert not found and cost == 0.0
+        assert table.stats.reads == 0
+
+    def test_tombstone_is_found_but_empty(self):
+        table = SSTable([("a", 1), ("b", TOMBSTONE)])
+        found, value, cost = table.get("b")
+        assert found and value is None and cost > 0.0
+
+    def test_filter_rejects_absent_keys(self):
+        entries = make_entries(200, step=2)  # even keys only
+        missing = [f"key{i:05d}" for i in range(1, 399, 2)]
+        table = SSTable(entries, filter_policy=BloomFilterPolicy(bits_per_key=12))
+        for key in missing:
+            table.get(key)
+        assert table.stats.filter_rejections > len(missing) * 0.9
+        assert table.stats.reads < len(missing) * 0.1
+
+    def test_no_filter_always_reads(self):
+        entries = make_entries(50, step=2)
+        table = SSTable(entries, filter_policy=NoFilterPolicy())
+        found, _, cost = table.get("key00001")  # inside range but absent
+        assert not found and cost > 0.0
+        assert table.stats.useless_reads == 1
+
+    def test_habf_policy_uses_negative_hints(self):
+        entries = make_entries(300, step=2)
+        missing = [f"key{i:05d}" for i in range(1, 599, 2)]
+        costs = {key: 2.0 for key in missing}
+        table = SSTable(
+            entries,
+            filter_policy=HABFFilterPolicy(bits_per_key=10),
+            negatives=missing,
+            costs=costs,
+        )
+        useless = 0
+        for key in missing:
+            found, _, cost = table.get(key)
+            if cost > 0.0:
+                useless += 1
+        # HABF knows these misses ahead of time, so almost all are rejected.
+        assert useless <= 2
+
+    def test_members_always_found_with_any_policy(self):
+        entries = make_entries(150)
+        for policy in (NoFilterPolicy(), BloomFilterPolicy(10), HABFFilterPolicy(10)):
+            table = SSTable(entries, filter_policy=policy)
+            for key, expected in entries[:30]:
+                found, value, _ = table.get(key)
+                assert found and value == expected

@@ -1,0 +1,151 @@
+"""Unit tests for the metrics: weighted FPR, timing and memory."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.errors import ConfigurationError
+from repro.metrics.fpr import evaluate_filter, false_positive_rate, weighted_fpr
+from repro.metrics.memory import measure_construction_memory
+from repro.metrics.timing import time_construction, time_queries
+from repro.workloads.dataset import MembershipDataset
+
+
+class _FixedFilter:
+    """A stub filter that reports membership from an explicit set."""
+
+    def __init__(self, members):
+        self._members = set(members)
+
+    def contains(self, key):
+        return key in self._members
+
+
+class TestFalsePositiveRate:
+    def test_empty_negatives(self):
+        assert false_positive_rate(_FixedFilter([]), []) == 0.0
+
+    def test_counts_fraction(self):
+        filt = _FixedFilter(["a", "b"])
+        assert false_positive_rate(filt, ["a", "b", "c", "d"]) == pytest.approx(0.5)
+
+
+class TestWeightedFpr:
+    def test_uniform_costs_equal_plain_fpr(self):
+        filt = _FixedFilter(["a"])
+        negatives = ["a", "b", "c", "d"]
+        assert weighted_fpr(filt, negatives) == pytest.approx(
+            false_positive_rate(filt, negatives)
+        )
+
+    def test_costs_weight_the_errors(self):
+        filt = _FixedFilter(["expensive"])
+        negatives = ["expensive", "cheap"]
+        costs = {"expensive": 99.0, "cheap": 1.0}
+        assert weighted_fpr(filt, negatives, costs) == pytest.approx(0.99)
+
+    def test_missing_costs_default_to_one(self):
+        filt = _FixedFilter(["x"])
+        assert weighted_fpr(filt, ["x", "y"], {"y": 3.0}) == pytest.approx(1 / 4)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            weighted_fpr(_FixedFilter([]), ["a"], {"a": -1.0})
+
+    def test_empty(self):
+        assert weighted_fpr(_FixedFilter([]), []) == 0.0
+
+
+class TestEvaluateFilter:
+    def make_dataset(self):
+        return MembershipDataset(
+            name="toy",
+            positives=["p1", "p2"],
+            negatives=["n1", "n2", "n3"],
+            costs={"n1": 10.0},
+        )
+
+    def test_perfect_filter(self):
+        dataset = self.make_dataset()
+        result = evaluate_filter(_FixedFilter(["p1", "p2"]), dataset)
+        assert result.fpr == 0.0
+        assert result.fnr == 0.0
+        assert result.weighted_fpr == 0.0
+        assert result.num_negatives == 3
+        assert result.num_positives == 2
+
+    def test_false_positive_accounting(self):
+        dataset = self.make_dataset()
+        result = evaluate_filter(_FixedFilter(["p1", "p2", "n1"]), dataset)
+        assert result.num_false_positives == 1
+        assert result.fpr == pytest.approx(1 / 3)
+        assert result.weighted_fpr == pytest.approx(10.0 / 12.0)
+
+    def test_false_negative_accounting(self):
+        dataset = self.make_dataset()
+        result = evaluate_filter(_FixedFilter(["p1"]), dataset)
+        assert result.num_false_negatives == 1
+        assert result.fnr == pytest.approx(0.5)
+
+    def test_negatives_override(self):
+        dataset = self.make_dataset()
+        result = evaluate_filter(_FixedFilter(["p1", "p2"]), dataset, negatives=["n1"])
+        assert result.num_negatives == 1
+
+
+class TestTiming:
+    def test_time_construction_returns_filter_and_timing(self):
+        def build():
+            bloom = BloomFilter(num_bits=1024, num_hashes=3)
+            bloom.add_all(f"k{i}" for i in range(100))
+            return bloom
+
+        built, timing = time_construction(build, num_keys=100)
+        assert built.num_items == 100
+        assert timing.total_seconds > 0
+        assert timing.ns_per_key > 0
+        assert timing.num_keys == 100
+
+    def test_time_queries(self):
+        bloom = BloomFilter(num_bits=1024, num_hashes=3)
+        bloom.add("a")
+        result = time_queries(bloom, ["a", "b", "c"], repeats=5)
+        assert result.num_keys == 15
+        assert result.ns_per_key > 0
+
+    def test_validation(self):
+        bloom = BloomFilter(num_bits=64, num_hashes=2)
+        with pytest.raises(ConfigurationError):
+            time_construction(lambda: bloom, num_keys=0)
+        with pytest.raises(ConfigurationError):
+            time_queries(bloom, [])
+        with pytest.raises(ConfigurationError):
+            time_queries(bloom, ["a"], repeats=0)
+
+    def test_ns_per_key_scales_with_duration(self):
+        slow = lambda: time.sleep(0.01)  # noqa: E731 - tiny inline stub
+        _, timing = time_construction(slow, num_keys=10)
+        assert timing.ns_per_key >= 1e6  # at least a millisecond spread over 10 keys
+
+
+class TestMemory:
+    def test_allocation_is_observed(self):
+        def build():
+            return [bytes(1024) for _ in range(2000)]  # ~2 MB of distinct payloads
+
+        payload, result = measure_construction_memory(build)
+        assert len(payload) == 2000
+        assert result.peak_bytes > 1_000_000
+        assert result.peak_megabytes == pytest.approx(result.peak_bytes / (1024 * 1024))
+
+    def test_small_allocation_smaller_than_large(self):
+        _, small = measure_construction_memory(lambda: [bytes(512) for _ in range(200)])
+        _, large = measure_construction_memory(lambda: [bytes(4096) for _ in range(2000)])
+        assert small.peak_bytes < large.peak_bytes
+
+    def test_current_bytes_reflect_retained_objects(self):
+        _, transient = measure_construction_memory(lambda: sum(len(bytes(1024)) for _ in range(100)))
+        assert transient.current_bytes <= transient.peak_bytes

@@ -1,0 +1,61 @@
+"""Package-level tests: public exports, version, exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestPublicApi:
+    def test_version_is_exposed(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists missing attribute {name}"
+
+    def test_headline_classes_are_exported(self):
+        assert repro.HABF.algorithm_name == "HABF"
+        assert repro.FastHABF.algorithm_name == "f-HABF"
+        assert len(repro.GLOBAL_HASH_FAMILY) == 22
+
+    def test_quickstart_snippet_from_readme(self):
+        """The README quickstart must keep working verbatim (smaller sizes)."""
+        positives = [f"user:{i}" for i in range(200)]
+        negatives = [f"visitor:{i}" for i in range(200)]
+        costs = {key: 1.0 + (hash(key) % 100) for key in negatives}
+        habf = repro.HABF.build(
+            positives,
+            negatives,
+            costs,
+            params=repro.HABFParams(total_bits=2_000, k=3, delta=0.25, cell_hash_bits=4),
+        )
+        assert all(key in habf for key in positives)
+        assert habf.construction_stats is not None
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for exc in (
+            errors.ConfigurationError,
+            errors.CapacityError,
+            errors.ConstructionError,
+            errors.UnknownHashError,
+            errors.DatasetError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_configuration_error_is_a_value_error(self):
+        assert issubclass(errors.ConfigurationError, ValueError)
+        assert issubclass(errors.DatasetError, ValueError)
+
+    def test_runtime_errors(self):
+        assert issubclass(errors.CapacityError, RuntimeError)
+        assert issubclass(errors.ConstructionError, RuntimeError)
+
+    def test_single_except_clause_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.UnknownHashError("nope")

@@ -1,0 +1,147 @@
+"""Unit tests for the analytic formulas and the paper's bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.theory.bloom_math import bloom_fpr, min_fpr_for_bits_per_key, optimal_k
+from repro.theory.habf_bounds import (
+    adjustment_probability_lower_bound,
+    expected_optimized_collisions_lower_bound,
+    expected_single_mapping_probability,
+    expressor_insertion_probability,
+    habf_fpr_bound,
+    habf_fpr_from_components,
+)
+
+
+class TestBloomMath:
+    def test_known_value(self):
+        # 10 bits/key with 7 hashes is the textbook ~0.8% configuration.
+        assert bloom_fpr(10, 7) == pytest.approx(0.00819, abs=2e-4)
+
+    def test_monotone_in_space(self):
+        assert bloom_fpr(12, 4) < bloom_fpr(8, 4) < bloom_fpr(4, 4)
+
+    def test_optimal_k_matches_ln2_rule(self):
+        for bits in (4, 8, 10, 16):
+            assert optimal_k(bits) == max(1, round(math.log(2) * bits))
+
+    def test_optimal_k_is_near_optimal(self):
+        bits = 10
+        best = optimal_k(bits)
+        assert bloom_fpr(bits, best) <= min(bloom_fpr(bits, k) for k in (best - 1, best + 1)) * 1.05
+
+    def test_min_fpr(self):
+        assert min_fpr_for_bits_per_key(10) == pytest.approx(0.6185 ** 10)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bloom_fpr(0, 3)
+        with pytest.raises(ConfigurationError):
+            bloom_fpr(8, 0)
+        with pytest.raises(ConfigurationError):
+            optimal_k(0)
+        with pytest.raises(ConfigurationError):
+            min_fpr_for_bits_per_key(-1)
+
+
+class TestTheorem41:
+    def test_lower_bound_formula(self):
+        value = expected_single_mapping_probability(10, 3)
+        assert value == pytest.approx((0.3) / (math.exp(0.3) - 1.0))
+
+    def test_in_unit_interval(self):
+        for bits, k in [(4, 2), (8, 3), (10, 4), (13, 6)]:
+            assert 0.0 < expected_single_mapping_probability(bits, k) < 1.0
+
+    def test_decreases_with_density(self):
+        # More hashes per bit (denser filter) lowers the single-mapping probability.
+        assert expected_single_mapping_probability(10, 2) > expected_single_mapping_probability(10, 8)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            expected_single_mapping_probability(0, 2)
+        with pytest.raises(ConfigurationError):
+            expected_single_mapping_probability(10, 0)
+
+
+class TestInsertionProbability:
+    def test_decreases_with_load(self):
+        values = [expressor_insertion_probability(3, 1000, t) for t in (0, 50, 150, 300)]
+        assert values == sorted(values, reverse=True)
+
+    def test_zero_when_overloaded(self):
+        assert expressor_insertion_probability(3, 10, 100) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            expressor_insertion_probability(3, 0, 0)
+        with pytest.raises(ConfigurationError):
+            expressor_insertion_probability(0, 10, 0)
+        with pytest.raises(ConfigurationError):
+            expressor_insertion_probability(3, 10, -1)
+
+
+class TestTheorem42:
+    def test_bound_below_collision_count(self):
+        bound = expected_optimized_collisions_lower_bound(
+            num_collisions=200, adjustment_probability=0.9, num_hashes=3, num_cells=2000
+        )
+        assert 0 < bound < 200
+
+    def test_zero_when_cells_too_small(self):
+        assert (
+            expected_optimized_collisions_lower_bound(100, 0.9, num_hashes=4, num_cells=16) == 0.0
+        )
+
+    def test_monotone_in_probability(self):
+        low = expected_optimized_collisions_lower_bound(100, 0.2, 3, 1000)
+        high = expected_optimized_collisions_lower_bound(100, 0.9, 3, 1000)
+        assert high > low
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            expected_optimized_collisions_lower_bound(-1, 0.5, 3, 100)
+        with pytest.raises(ConfigurationError):
+            expected_optimized_collisions_lower_bound(10, 1.5, 3, 100)
+        with pytest.raises(ConfigurationError):
+            expected_optimized_collisions_lower_bound(10, 0.5, 3, 0)
+
+
+class TestEq19Bound:
+    def test_below_unoptimized_fpr(self):
+        bits_per_key, k = 7.5, 3
+        bound = habf_fpr_bound(bits_per_key, k, num_negatives=10_000, num_cells=4_000)
+        assert 0.0 <= bound < bloom_fpr(bits_per_key, k)
+
+    def test_adjustment_probability_in_unit_interval(self):
+        p = adjustment_probability_lower_bound(8, 3, 22)
+        assert 0.0 < p < 1.0
+        assert adjustment_probability_lower_bound(8, 22, 22) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            habf_fpr_bound(8, 3, num_negatives=0, num_cells=100)
+
+
+class TestCompositionBound:
+    def test_scales_with_occupancy(self):
+        low = habf_fpr_from_components(0.01, expressor_cells=1000, inserted_keys=10)
+        high = habf_fpr_from_components(0.01, expressor_cells=1000, inserted_keys=500)
+        assert low < high
+        assert low >= 0.01
+
+    def test_capped_at_one(self):
+        assert habf_fpr_from_components(0.9, 10, 100) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            habf_fpr_from_components(0.5, 0, 1)
+        with pytest.raises(ConfigurationError):
+            habf_fpr_from_components(1.5, 10, 1)
+        with pytest.raises(ConfigurationError):
+            habf_fpr_from_components(0.5, 10, -1)

@@ -1,0 +1,164 @@
+"""Unit tests for the workload generators and the dataset container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, DatasetError
+from repro.workloads.dataset import MembershipDataset
+from repro.workloads.shalla import generate_shalla_like
+from repro.workloads.ycsb import generate_ycsb_like
+from repro.workloads.zipf import assign_zipf_costs, zipf_weights
+
+
+class TestShallaGenerator:
+    def test_sizes_and_disjointness(self):
+        dataset = generate_shalla_like(500, 400, seed=5)
+        assert dataset.num_positives == 500
+        assert dataset.num_negatives == 400
+        assert not set(dataset.positives) & set(dataset.negatives)
+
+    def test_deterministic(self):
+        a = generate_shalla_like(200, 200, seed=9)
+        b = generate_shalla_like(200, 200, seed=9)
+        assert a.positives == b.positives
+        assert a.negatives == b.negatives
+
+    def test_seed_changes_output(self):
+        a = generate_shalla_like(200, 200, seed=1)
+        b = generate_shalla_like(200, 200, seed=2)
+        assert a.positives != b.positives
+
+    def test_keys_look_like_urls(self):
+        dataset = generate_shalla_like(100, 100, seed=5)
+        assert all(key.startswith("http://") for key in dataset.positives)
+        assert all("." in key and "/" in key for key in dataset.negatives)
+
+    def test_classes_have_different_vocabulary(self):
+        """Positive URLs use risky categories, negatives benign ones."""
+        dataset = generate_shalla_like(300, 300, seed=5)
+        risky_hits = sum(1 for key in dataset.positives if any(
+            cat in key for cat in ("phish", "malware", "gamble", "warez", "spyware", "adv", "porn", "tracker")
+        ))
+        benign_hits = sum(1 for key in dataset.negatives if any(
+            cat in key for cat in ("news", "shopping", "education", "health", "travel", "sports", "music", "recipes")
+        ))
+        assert risky_hits == 300
+        assert benign_hits == 300
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            generate_shalla_like(0, 10)
+
+
+class TestYcsbGenerator:
+    def test_sizes_and_disjointness(self):
+        dataset = generate_ycsb_like(400, 300, seed=5)
+        assert dataset.num_positives == 400
+        assert dataset.num_negatives == 300
+        assert not set(dataset.positives) & set(dataset.negatives)
+
+    def test_key_schema(self):
+        dataset = generate_ycsb_like(50, 50, seed=5)
+        for key in dataset.positives + dataset.negatives:
+            assert key.startswith("user")
+            assert len(key) == 4 + 20
+            assert key[4:].isdigit()
+
+    def test_deterministic(self):
+        a = generate_ycsb_like(100, 100, seed=3)
+        b = generate_ycsb_like(100, 100, seed=3)
+        assert a.positives == b.positives and a.negatives == b.negatives
+
+    def test_prefix_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_ycsb_like(10, 10, prefix="toolong")
+        with pytest.raises(ConfigurationError):
+            generate_ycsb_like(0, 10)
+
+
+class TestZipf:
+    def test_uniform_when_skewness_zero(self):
+        weights = zipf_weights(100, 0.0)
+        assert all(w == pytest.approx(1.0) for w in weights)
+
+    def test_mean_is_one(self):
+        for skew in (0.5, 1.0, 2.0):
+            weights = zipf_weights(500, skew)
+            assert sum(weights) / len(weights) == pytest.approx(1.0)
+
+    def test_skewness_concentrates_mass(self):
+        mild = zipf_weights(1000, 0.5)
+        heavy = zipf_weights(1000, 2.0)
+        top_share_mild = sum(sorted(mild, reverse=True)[:10]) / sum(mild)
+        top_share_heavy = sum(sorted(heavy, reverse=True)[:10]) / sum(heavy)
+        assert top_share_heavy > top_share_mild
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            zipf_weights(10, -1.0)
+
+    def test_assign_costs_covers_all_keys(self):
+        keys = [f"k{i}" for i in range(50)]
+        costs = assign_zipf_costs(keys, 1.0, seed=2)
+        assert set(costs) == set(keys)
+        assert all(cost > 0 for cost in costs.values())
+
+    def test_assignment_shuffle_is_seeded(self):
+        keys = [f"k{i}" for i in range(50)]
+        assert assign_zipf_costs(keys, 1.0, seed=2) == assign_zipf_costs(keys, 1.0, seed=2)
+        assert assign_zipf_costs(keys, 1.0, seed=2) != assign_zipf_costs(keys, 1.0, seed=3)
+
+    def test_unshuffled_assignment_is_rank_ordered(self):
+        keys = ["a", "b", "c"]
+        costs = assign_zipf_costs(keys, 1.0, shuffle=False)
+        assert costs["a"] >= costs["b"] >= costs["c"]
+
+    def test_empty_keys(self):
+        assert assign_zipf_costs([], 1.0) == {}
+
+
+class TestMembershipDataset:
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            MembershipDataset(name="x", positives=[], negatives=["a"])
+        with pytest.raises(DatasetError):
+            MembershipDataset(name="x", positives=["a", "a"], negatives=[])
+        with pytest.raises(DatasetError):
+            MembershipDataset(name="x", positives=["a"], negatives=["a"])
+        with pytest.raises(DatasetError):
+            MembershipDataset(name="x", positives=["a"], negatives=["b", "b"])
+
+    def test_cost_helpers(self):
+        dataset = MembershipDataset(
+            name="x", positives=["p"], negatives=["n1", "n2"], costs={"n1": 3.0}
+        )
+        assert dataset.cost_of("n1") == 3.0
+        assert dataset.cost_of("n2") == 1.0
+        assert dataset.total_negative_cost() == 4.0
+
+    def test_with_costs_and_uniform(self):
+        dataset = MembershipDataset(name="x", positives=["p"], negatives=["n"], costs={"n": 9.0})
+        uniform = dataset.with_uniform_costs()
+        assert uniform.cost_of("n") == 1.0
+        recosted = dataset.with_costs({"n": 2.0})
+        assert recosted.cost_of("n") == 2.0
+        assert dataset.cost_of("n") == 9.0  # original untouched
+
+    def test_subsample(self):
+        dataset = generate_shalla_like(300, 300, seed=4)
+        smaller = dataset.subsample(num_positives=50, num_negatives=60, seed=4)
+        assert smaller.num_positives == 50
+        assert smaller.num_negatives == 60
+        assert set(smaller.positives) <= set(dataset.positives)
+
+    def test_split_negatives(self):
+        dataset = generate_shalla_like(100, 200, seed=4)
+        train, held_out = dataset.split_negatives(0.75, seed=4)
+        assert len(train) == 150
+        assert len(held_out) == 50
+        assert set(train) | set(held_out) == set(dataset.negatives)
+        with pytest.raises(DatasetError):
+            dataset.split_negatives(1.5)
