@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Serving a blacklist with the sharded membership service.
+
+Extends ``examples/blacklist_gateway.py`` from a one-shot experiment to the
+deployment shape the paper motivates: a gateway that answers sustained query
+traffic in batches, hot-rebuilds its filter when the blacklist is refreshed
+(old generation serves until the new one swaps in), and persists/restores
+snapshots so a restart does not pay construction again.
+
+Run with::
+
+    python examples/membership_service.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.service import MembershipService
+from repro.workloads import assign_zipf_costs, generate_shalla_like
+
+
+def all_present(service: MembershipService, keys, chunk=2048) -> bool:
+    """Batch-verify membership in service-sized chunks."""
+    return all(
+        all(service.query_many(keys[start : start + chunk]))
+        for start in range(0, len(keys), chunk)
+    )
+
+
+def print_stats(service: MembershipService, label: str) -> None:
+    stats = service.stats()
+    latency = stats.latency.scaled(1e6) if stats.latency else None
+    print(f"\n[{label}] generation={stats.generation} keys={stats.num_keys}")
+    print(
+        f"  queries={stats.queries} batches={stats.batches} "
+        f"positives={stats.positives} rejected_batches={stats.rejected_batches} "
+        f"rebuilds={stats.rebuilds}"
+    )
+    if latency:
+        print(
+            f"  per-key latency: p50={latency.p50:.2f}us p95={latency.p95:.2f}us "
+            f"p99={latency.p99:.2f}us (over {latency.count} samples)"
+        )
+    per_shard = ", ".join(f"#{s.shard}:{s.num_keys}k/{s.queries}q" for s in stats.shards)
+    print(f"  shards: {per_shard}")
+
+
+def main() -> None:
+    # Blacklisted URLs (positives), benign URLs from the access log (known
+    # negatives), and request frequency as the misidentification cost.
+    dataset = generate_shalla_like(num_positives=6_000, num_negatives=6_000, seed=7)
+    request_frequency = assign_zipf_costs(dataset.negatives, skewness=1.2, seed=7)
+
+    service = MembershipService(
+        backend="habf", num_shards=4, bits_per_key=10.0, max_batch_size=4096
+    )
+    service.load(dataset.positives, dataset.negatives, request_frequency)
+
+    # A gateway checks requests in batches (one page worth of URLs at a time).
+    for start in range(0, 4_000, 400):
+        batch = dataset.negatives[start : start + 400]
+        service.query_many(batch)
+    assert all_present(service, dataset.positives), "zero false negatives"
+    print_stats(service, "serving generation 1")
+
+    # The blacklist is refreshed: 500 URLs delisted, 500 new ones added.
+    # Queries keep flowing against the old generation during the rebuild.
+    refreshed = dataset.positives[500:] + [f"http://new-threat-{i}.example" for i in range(500)]
+    service.rebuild(refreshed, dataset.negatives, request_frequency)
+    assert all_present(service, refreshed), "zero false negatives after rebuild"
+    print_stats(service, "after hot rebuild")
+
+    # Persist the serving snapshot and restart from it without rebuilding.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "blacklist.snap"
+        written = service.save_snapshot(path)
+        restarted = MembershipService.from_snapshot(path, backend="habf")
+        assert all_present(restarted, refreshed)
+        print(f"\nsnapshot: {written} bytes; restarted service answers identically")
+        print_stats(restarted, "restarted from snapshot")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,12 +9,14 @@ per-figure series are produced by ``python -m repro.experiments.run_all``.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 
 from repro.experiments.config import ExperimentConfig, PAPER_SHALLA_POSITIVES, PAPER_YCSB_POSITIVES, mb_to_bits_per_key
 from repro.experiments.registry import build_filter
 from repro.metrics.fpr import evaluate_filter
 from repro.metrics.timing import time_construction, time_queries
+from repro.service import MembershipService, codec
 from repro.workloads.zipf import assign_zipf_costs
 
 CONFIG = ExperimentConfig(
@@ -48,6 +50,44 @@ def section(lines, dataset, paper_positives, space_mb, skew):
     lines.append("")
 
 
+def service_section(lines, dataset, num_shards=4, bits_per_key=10.0):
+    """Membership-service throughput: batch vs scalar, plus snapshot load time."""
+    lines.append(
+        f"## membership service: {dataset.name}, {num_shards} HABF shards, "
+        f"{bits_per_key} bits/key"
+    )
+    service = MembershipService(backend="habf", num_shards=num_shards, bits_per_key=bits_per_key)
+    service.load(dataset.positives, dataset.negatives)
+    probe = dataset.negatives[:2000] + dataset.positives[:2000]
+
+    start = time.perf_counter()
+    for key in probe:
+        service.query(key)
+    scalar_qps = len(probe) / (time.perf_counter() - start)
+
+    start = time.perf_counter()
+    for offset in range(0, len(probe), 500):
+        service.query_many(probe[offset : offset + 500])
+    batch_qps = len(probe) / (time.perf_counter() - start)
+
+    frame = codec.dumps(service.snapshot.store)
+    start = time.perf_counter()
+    codec.loads(frame)
+    load_ms = (time.perf_counter() - start) * 1e3
+
+    latency = service.stats().latency.scaled(1e6)
+    lines.append(
+        f"  scalar={scalar_qps:9.0f} keys/s  batch={batch_qps:9.0f} keys/s "
+        f"(x{batch_qps / scalar_qps:.2f})"
+    )
+    lines.append(
+        f"  latency (per key; batch calls averaged) p50={latency.p50:.2f}us "
+        f"p95={latency.p95:.2f}us p99={latency.p99:.2f}us"
+    )
+    lines.append(f"  snapshot={len(frame)} bytes, load={load_ms:.2f} ms")
+    lines.append("")
+
+
 def main() -> None:
     out = Path("results")
     out.mkdir(exist_ok=True)
@@ -58,6 +98,7 @@ def main() -> None:
     section(lines, shalla, PAPER_SHALLA_POSITIVES, 1.5, skew=1.0)
     section(lines, ycsb, PAPER_YCSB_POSITIVES, 15.0, skew=0.0)
     section(lines, ycsb, PAPER_YCSB_POSITIVES, 15.0, skew=1.0)
+    service_section(lines, shalla)
     text = "\n".join(lines)
     (out / "evidence.txt").write_text(text)
     print(text)

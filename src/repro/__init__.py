@@ -13,6 +13,8 @@ The package is organised around the paper's architecture:
 * :mod:`repro.experiments` — one runner per paper figure.
 * :mod:`repro.kvstore` — a small LSM-tree key-value store substrate showing the
   motivating application (filters guarding level reads).
+* :mod:`repro.service` — the membership-serving subsystem: binary filter
+  codec, sharded stores, and a hot-rebuildable :class:`MembershipService`.
 
 Quickstart::
 

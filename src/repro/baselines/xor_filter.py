@@ -146,6 +146,14 @@ class XorFilter:
     def __contains__(self, key: Key) -> bool:
         return self.contains(key)
 
+    def contains_many(self, keys: Iterable[Key]) -> List[bool]:
+        """Vector form of :meth:`contains`, in input order.
+
+        Mirrors :meth:`repro.core.habf.HABF.contains_many` so batch callers
+        (the sharded membership service) can treat every backend uniformly.
+        """
+        return [self.contains(key) for key in keys]
+
     @property
     def fingerprint_bits(self) -> int:
         """Width of each stored fingerprint."""

@@ -171,6 +171,20 @@ class BloomFilter:
     def __contains__(self, key: Key) -> bool:
         return self.contains(key)
 
+    def contains_many(self, keys: Iterable[Key]) -> List[bool]:
+        """Vector form of :meth:`contains`, in input order.
+
+        Mirrors :meth:`repro.core.habf.HABF.contains_many` so batch callers
+        (the sharded membership service) can treat every backend uniformly.
+        Hash functions and the bit-test are resolved once per batch instead
+        of once per key, which is where the scalar path spends its dispatch
+        overhead.
+        """
+        functions = [self._family[i] for i in self._initial_selection]
+        test = self._bits.test
+        modulus = len(self._bits)
+        return [all(test(fn(key, modulus)) for fn in functions) for key in keys]
+
     def expected_fpr(self) -> float:
         """Analytic FPR estimate ``(1 - e^{-kn/m})^k`` for the current load."""
         if self._num_items == 0:

@@ -173,8 +173,27 @@ class HABF:
         return self.contains(key)
 
     def contains_many(self, keys: Iterable[Key]) -> List[bool]:
-        """Vector form of :meth:`contains`, in input order."""
-        return [self.contains(key) for key in keys]
+        """Vector form of :meth:`contains`, in input order.
+
+        Runs the first round as one Bloom batch (cheap, dispatch hoisted) and
+        only sends the first-round misses through the HashExpressor second
+        round, so held-in keys — the common case for a serving workload —
+        never pay the expressor walk.
+        """
+        keys = list(keys)
+        answers = self._bloom.contains_many(keys)
+        expressor = self._expressor
+        if expressor is None:
+            return answers
+        k = self._params.k
+        query = expressor.query
+        second_round = self._bloom.contains_with_selection
+        for index, hit in enumerate(answers):
+            if not hit:
+                selection = query(keys[index], k)
+                if selection is not None:
+                    answers[index] = second_round(keys[index], selection)
+        return answers
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -30,3 +30,11 @@ class UnknownHashError(ConfigurationError):
 
 class DatasetError(ReproError, ValueError):
     """A workload/dataset was malformed (e.g. overlapping positive/negative sets)."""
+
+
+class CodecError(ReproError, ValueError):
+    """A serialized filter frame is malformed, corrupted or unsupported."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The membership service was used incorrectly (e.g. queried before load)."""

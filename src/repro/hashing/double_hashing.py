@@ -83,6 +83,7 @@ class DoubleHashFamily:
 
         self.name = f"double[{primitive}]"
         self.primitive_name = primitive
+        self.seed = seed
         self._functions: List[SimulatedHash] = [
             SimulatedHash(
                 name=f"{primitive}+{i}*step",

@@ -17,9 +17,11 @@ can show the end-to-end effect of swapping a plain Bloom filter for a HABF:
 
 from repro.kvstore.filter_policy import (
     BloomFilterPolicy,
+    FastHABFFilterPolicy,
     FilterPolicy,
     HABFFilterPolicy,
     NoFilterPolicy,
+    XorFilterPolicy,
 )
 from repro.kvstore.lsm import LSMTree, ReadStats
 from repro.kvstore.memtable import MemTable
@@ -34,4 +36,6 @@ __all__ = [
     "NoFilterPolicy",
     "BloomFilterPolicy",
     "HABFFilterPolicy",
+    "FastHABFFilterPolicy",
+    "XorFilterPolicy",
 ]

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from typing import Mapping, Optional, Protocol, Sequence
 
+from repro.baselines.xor_filter import XorFilter
 from repro.core.bloom import BloomFilter, optimal_num_hashes
-from repro.core.habf import HABF
+from repro.core.habf import HABF, FastHABF
 from repro.core.params import HABFParams
 from repro.errors import ConfigurationError
 from repro.hashing.base import Key
@@ -24,8 +25,12 @@ class MembershipFilter(Protocol):
         ...
 
 
-class _AlwaysContains:
-    """Degenerate filter used by :class:`NoFilterPolicy` (every read hits disk)."""
+class AlwaysContainsFilter:
+    """Degenerate filter used by :class:`NoFilterPolicy` (every read hits disk).
+
+    Public because the service codec serializes it (a default-configured
+    SSTable dumps this filter).
+    """
 
     def contains(self, key: Key) -> bool:
         return True
@@ -59,7 +64,7 @@ class NoFilterPolicy:
         negatives: Sequence[Key] = (),
         costs: Optional[Mapping[Key, float]] = None,
     ) -> MembershipFilter:
-        return _AlwaysContains()
+        return AlwaysContainsFilter()
 
 
 class BloomFilterPolicy:
@@ -80,7 +85,7 @@ class BloomFilterPolicy:
     ) -> MembershipFilter:
         keys = list(keys)
         if not keys:
-            return _AlwaysContains()
+            return AlwaysContainsFilter()
         num_bits = max(8, int(round(self.bits_per_key * len(keys))))
         bloom = BloomFilter(num_bits=num_bits, num_hashes=optimal_num_hashes(self.bits_per_key))
         bloom.add_all(keys)
@@ -91,6 +96,7 @@ class HABFFilterPolicy:
     """HABF per run, steered by the known negative keys and their access costs."""
 
     name = "habf"
+    filter_cls = HABF
 
     def __init__(self, bits_per_key: float = 10.0, k: int = 3, seed: int = 1) -> None:
         if bits_per_key <= 0:
@@ -107,15 +113,45 @@ class HABFFilterPolicy:
     ) -> MembershipFilter:
         keys = list(keys)
         if not keys:
-            return _AlwaysContains()
+            return AlwaysContainsFilter()
         key_set = set(keys)
         relevant_negatives = [key for key in negatives if key not in key_set]
         params = HABFParams.from_bits_per_key(
             self.bits_per_key, len(keys), k=self.k, seed=self.seed
         )
-        return HABF.build(
+        return self.filter_cls.build(
             positives=keys,
             negatives=relevant_negatives,
             costs=costs,
             params=params,
         )
+
+
+class FastHABFFilterPolicy(HABFFilterPolicy):
+    """f-HABF per run: double hashing and the Γ-free fast construction."""
+
+    name = "f-habf"
+    filter_cls = FastHABF
+
+
+class XorFilterPolicy:
+    """Xor filter per run (static; ignores the negative-key workload hints)."""
+
+    name = "xor"
+
+    def __init__(self, bits_per_key: float = 10.0, seed: int = 1) -> None:
+        if bits_per_key <= 0:
+            raise ConfigurationError("bits_per_key must be positive")
+        self.bits_per_key = bits_per_key
+        self.seed = seed
+
+    def create_filter(
+        self,
+        keys: Sequence[Key],
+        negatives: Sequence[Key] = (),
+        costs: Optional[Mapping[Key, float]] = None,
+    ) -> MembershipFilter:
+        keys = list(keys)
+        if not keys:
+            return AlwaysContainsFilter()
+        return XorFilter.from_bits_per_key(keys, self.bits_per_key, seed=self.seed)

@@ -103,6 +103,49 @@ class SSTable:
         return self._filter
 
     # ------------------------------------------------------------------ #
+    # Filter persistence
+    # ------------------------------------------------------------------ #
+    def dump_filter(self) -> bytes:
+        """Serialize the guarding filter into one codec frame.
+
+        A real LSM store persists the filter block inside the table file so
+        reopening the database does not rebuild every filter; this is that
+        path, built on :mod:`repro.service.codec`.
+        """
+        from repro.service import codec
+
+        return codec.dumps(self._filter)
+
+    def restore_filter(self, frame: bytes) -> None:
+        """Replace the guarding filter with one decoded from ``frame``.
+
+        The restored filter must still answer "present" for every key this
+        table holds — restoring a filter built for a different table would
+        silently reintroduce false negatives, so that is checked here.
+
+        Raises:
+            CodecError: if the frame is corrupt or the decoded filter misses
+                any of this table's keys.
+        """
+        from repro.errors import CodecError
+        from repro.service import codec
+
+        candidate = codec.loads(frame)
+        contains = getattr(candidate, "contains", None)
+        if contains is None:
+            raise CodecError(
+                f"decoded frame holds {type(candidate).__name__}, which is not "
+                "a membership filter"
+            )
+        missing = sum(1 for key in self._keys if not contains(key))
+        if missing:
+            raise CodecError(
+                f"restored filter misses {missing} of {len(self._keys)} table keys; "
+                "it was not built for this table"
+            )
+        self._filter = candidate
+
+    # ------------------------------------------------------------------ #
     # Reads
     # ------------------------------------------------------------------ #
     def get(self, key: str) -> Tuple[bool, Optional[object], float]:

@@ -10,7 +10,14 @@ These implement the four metrics of the paper's Section V-B:
 
 from repro.metrics.fpr import EvaluationResult, evaluate_filter, false_positive_rate, weighted_fpr
 from repro.metrics.memory import measure_construction_memory
-from repro.metrics.timing import TimingResult, time_construction, time_queries
+from repro.metrics.timing import (
+    LatencyPercentiles,
+    TimingResult,
+    latency_percentiles,
+    percentile,
+    time_construction,
+    time_queries,
+)
 
 __all__ = [
     "EvaluationResult",
@@ -18,6 +25,9 @@ __all__ = [
     "false_positive_rate",
     "weighted_fpr",
     "TimingResult",
+    "LatencyPercentiles",
+    "latency_percentiles",
+    "percentile",
     "time_construction",
     "time_queries",
     "measure_construction_memory",

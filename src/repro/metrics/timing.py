@@ -20,6 +20,74 @@ from repro.hashing.base import Key
 FilterT = TypeVar("FilterT")
 
 
+def _percentile_of_sorted(ordered: Sequence[float], q: float) -> float:
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Return the ``q``-th percentile of ``samples`` (linear interpolation).
+
+    ``q`` is given in percent (0–100).  Matches ``numpy.percentile`` with the
+    default (linear) interpolation so reported p50/p95/p99 figures line up with
+    what standard tooling would compute, without requiring numpy.
+    """
+    if not samples:
+        raise ConfigurationError("cannot take a percentile of an empty sample set")
+    return _percentile_of_sorted(sorted(samples), q)
+
+
+@dataclass(frozen=True)
+class LatencyPercentiles:
+    """p50/p95/p99 summary of a latency sample set, in seconds.
+
+    Attributes:
+        count: Number of samples summarised.
+        p50: Median latency.
+        p95: 95th-percentile latency.
+        p99: 99th-percentile latency.
+        mean: Arithmetic mean latency.
+    """
+
+    count: int
+    p50: float
+    p95: float
+    p99: float
+    mean: float
+
+    def scaled(self, factor: float) -> "LatencyPercentiles":
+        """Return a copy with every latency multiplied by ``factor``
+        (e.g. ``1e6`` to report microseconds)."""
+        return LatencyPercentiles(
+            count=self.count,
+            p50=self.p50 * factor,
+            p95=self.p95 * factor,
+            p99=self.p99 * factor,
+            mean=self.mean * factor,
+        )
+
+
+def latency_percentiles(samples: Sequence[float]) -> LatencyPercentiles:
+    """Summarise raw latency samples (seconds) into p50/p95/p99 figures."""
+    if not samples:
+        raise ConfigurationError("cannot summarise an empty latency sample set")
+    ordered = sorted(samples)
+    return LatencyPercentiles(
+        count=len(ordered),
+        p50=_percentile_of_sorted(ordered, 50.0),
+        p95=_percentile_of_sorted(ordered, 95.0),
+        p99=_percentile_of_sorted(ordered, 99.0),
+        mean=sum(ordered) / len(ordered),
+    )
+
+
 @dataclass(frozen=True)
 class TimingResult:
     """A wall-clock measurement normalised per key.

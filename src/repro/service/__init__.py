@@ -1,0 +1,53 @@
+"""Sharded membership-serving subsystem built on the :mod:`repro.core` filters.
+
+The reproduction's core modules build and query filters in-process, one shot
+at a time.  This subpackage turns them into something deployable — the
+blacklist-gateway / LSM read-path setting the paper motivates:
+
+* :mod:`repro.service.codec` — a versioned, checksummed binary frame format
+  that round-trips every filter (BitArray, BloomFilter, HashExpressor, HABF,
+  f-HABF, Xor) to and from ``bytes``, so built filters can be persisted and
+  shipped between processes.
+* :mod:`repro.service.backends` — a registry exposing every filter family
+  through the single ``create_filter(keys, negatives, costs)`` interface
+  shared with :mod:`repro.kvstore.filter_policy`.
+* :mod:`repro.service.shards` — :class:`ShardedFilterStore`, which partitions
+  keys across N independently-built filters and answers batches by grouping
+  keys per shard.
+* :mod:`repro.service.server` — :class:`MembershipService`, a
+  generation-versioned serving front end with atomic hot-swap rebuilds and
+  latency-percentile statistics.
+* :mod:`repro.service.stats` — the stats dataclasses shared by the above.
+"""
+
+from repro.service.backends import (
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.service.codec import CODEC_VERSION, FRAME_MAGIC, dump, dumps, load, loads
+from repro.service.server import MembershipService, Snapshot
+from repro.service.shards import EmptyShardFilter, ShardRouter, ShardedFilterStore
+from repro.service.stats import LatencyWindow, ServiceStats, ShardStats
+
+__all__ = [
+    "MembershipService",
+    "Snapshot",
+    "ShardedFilterStore",
+    "ShardRouter",
+    "EmptyShardFilter",
+    "ServiceStats",
+    "ShardStats",
+    "LatencyWindow",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "dumps",
+    "loads",
+    "dump",
+    "load",
+    "FRAME_MAGIC",
+    "CODEC_VERSION",
+]

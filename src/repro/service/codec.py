@@ -1,0 +1,566 @@
+"""Versioned binary frames for persisting and shipping membership filters.
+
+Every serializable object is wrapped in one self-describing frame::
+
+    offset 0   magic      4 bytes  b"HABF"
+    offset 4   version    1 byte   currently 1
+    offset 5   type tag   1 byte   which structure the payload encodes
+    offset 6   length     4 bytes  payload size (big-endian)
+    offset 10  payload    `length` bytes
+    offset -4  crc32      4 bytes  over version + type + length + payload
+
+The CRC turns silent corruption (bit rot, truncated downloads, partial
+writes) into a loud :class:`~repro.errors.CodecError`; the version byte lets
+future formats evolve without misreading old frames.  Frames are
+self-contained: a filter's hash family is encoded alongside its bits, so
+``loads(dumps(f))`` reproduces a filter that answers identically to ``f``
+in a fresh process.
+
+Composite structures (HABF, the sharded store) embed their parts as nested
+length-prefixed frames, so every layer round-trips through the same code
+path.  Construction-time statistics (``TPJOStats``) are *not* serialized —
+a revived filter serves queries but reports ``construction_stats`` of
+``None``.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any, List, Optional, Sequence, Union
+
+from repro.core.bitarray import BitArray
+from repro.core.bloom import BloomFilter
+from repro.core.habf import HABF, FastHABF
+from repro.core.hash_expressor import HashExpressor
+from repro.core.params import HABFParams
+from repro.baselines.xor_filter import XorFilter
+from repro.errors import CodecError
+from repro.hashing.base import HashFunction
+from repro.hashing.double_hashing import DoubleHashFamily
+from repro.hashing.registry import GLOBAL_HASH_FAMILY, HashFamily, get_primitive
+
+#: Magic bytes opening every frame.
+FRAME_MAGIC = b"HABF"
+
+#: Current frame-format version.
+CODEC_VERSION = 1
+
+# Type tags (1 byte each).
+TAG_BITARRAY = 1
+TAG_BLOOM = 2
+TAG_EXPRESSOR = 3
+TAG_HABF = 4
+TAG_FAST_HABF = 5
+TAG_XOR = 6
+TAG_SHARDED_STORE = 7
+TAG_EMPTY_SHARD = 8
+TAG_ALWAYS_CONTAINS = 9
+
+# Hash-family descriptor kinds.
+_FAMILY_GLOBAL = 0
+_FAMILY_NAMED = 1
+_FAMILY_DOUBLE = 2
+
+_HEADER = struct.Struct(">4sBBI")
+
+
+_U8 = struct.Struct(">B")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+_F64 = struct.Struct(">d")
+
+
+class _Writer:
+    """Append-only big-endian byte builder.
+
+    Out-of-range values (e.g. a negative seed packed as u64) surface as
+    :class:`CodecError` rather than a raw ``struct.error``.
+    """
+
+    def __init__(self) -> None:
+        self._parts: List[bytes] = []
+
+    def _pack(self, fmt: struct.Struct, value) -> None:
+        try:
+            self._parts.append(fmt.pack(value))
+        except struct.error as exc:
+            raise CodecError(
+                f"value {value!r} does not fit the frame field ({exc})"
+            ) from exc
+
+    def u8(self, value: int) -> None:
+        self._pack(_U8, value)
+
+    def u16(self, value: int) -> None:
+        self._pack(_U16, value)
+
+    def u32(self, value: int) -> None:
+        self._pack(_U32, value)
+
+    def u64(self, value: int) -> None:
+        self._pack(_U64, value)
+
+    def f64(self, value: float) -> None:
+        self._pack(_F64, value)
+
+    def raw(self, data: bytes) -> None:
+        self._parts.append(bytes(data))
+
+    def bytes_field(self, data: bytes) -> None:
+        self.u32(len(data))
+        self.raw(data)
+
+    def str_field(self, text: str) -> None:
+        self.bytes_field(text.encode("utf-8"))
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class _Reader:
+    """Sequential big-endian reader that fails loudly on truncation."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def take(self, count: int) -> bytes:
+        end = self._pos + count
+        if count < 0 or end > len(self._data):
+            raise CodecError(
+                f"truncated frame payload: wanted {count} bytes at offset "
+                f"{self._pos}, only {len(self._data) - self._pos} left"
+            )
+        chunk = self._data[self._pos : end]
+        self._pos = end
+        return chunk
+
+    def _unpack(self, fmt: struct.Struct) -> Any:
+        return fmt.unpack(self.take(fmt.size))[0]
+
+    def u8(self) -> int:
+        return self._unpack(_U8)
+
+    def u16(self) -> int:
+        return self._unpack(_U16)
+
+    def u32(self) -> int:
+        return self._unpack(_U32)
+
+    def u64(self) -> int:
+        return self._unpack(_U64)
+
+    def f64(self) -> float:
+        return self._unpack(_F64)
+
+    def bytes_field(self) -> bytes:
+        return self.take(self.u32())
+
+    def str_field(self) -> str:
+        return self.bytes_field().decode("utf-8")
+
+    def expect_end(self) -> None:
+        if self._pos != len(self._data):
+            raise CodecError(
+                f"{len(self._data) - self._pos} trailing bytes after payload"
+            )
+
+
+# --------------------------------------------------------------------- #
+# Hash-family descriptors
+# --------------------------------------------------------------------- #
+def _encode_family(writer: _Writer, family: Union[HashFamily, DoubleHashFamily]) -> None:
+    if family is GLOBAL_HASH_FAMILY:
+        writer.u8(_FAMILY_GLOBAL)
+        return
+    if isinstance(family, DoubleHashFamily):
+        writer.u8(_FAMILY_DOUBLE)
+        writer.u16(len(family))
+        writer.str_field(family.primitive_name)
+        writer.u64(family.seed)
+        return
+    if isinstance(family, HashFamily):
+        writer.u8(_FAMILY_NAMED)
+        writer.str_field(family.name)
+        writer.u16(len(family))
+        for fn in family:
+            writer.str_field(fn.name)
+            writer.u64(fn.seed)
+        return
+    raise CodecError(f"cannot serialize hash family of type {type(family).__name__}")
+
+
+def _decode_family(reader: _Reader) -> Union[HashFamily, DoubleHashFamily]:
+    kind = reader.u8()
+    if kind == _FAMILY_GLOBAL:
+        return GLOBAL_HASH_FAMILY
+    if kind == _FAMILY_DOUBLE:
+        size = reader.u16()
+        primitive = reader.str_field()
+        seed = reader.u64()
+        return DoubleHashFamily(size=size, primitive=primitive, seed=seed)
+    if kind == _FAMILY_NAMED:
+        label = reader.str_field()
+        count = reader.u16()
+        functions = []
+        for index in range(count):
+            name = reader.str_field()
+            seed = reader.u64()
+            functions.append(
+                HashFunction(name=name, index=index, primitive=get_primitive(name), seed=seed)
+            )
+        return HashFamily(functions, name=label)
+    raise CodecError(f"unknown hash-family descriptor kind {kind}")
+
+
+# --------------------------------------------------------------------- #
+# Per-type payload encoders/decoders
+# --------------------------------------------------------------------- #
+def _encode_bitarray(writer: _Writer, bits: BitArray) -> None:
+    writer.u64(len(bits))
+    writer.bytes_field(bits.to_bytes())
+
+
+def _decode_bitarray(reader: _Reader) -> BitArray:
+    num_bits = reader.u64()
+    payload = reader.bytes_field()
+    if num_bits == 0:
+        raise CodecError("BitArray frame declares zero bits")
+    try:
+        return BitArray.from_bytes(num_bits, payload)
+    except Exception as exc:  # ConfigurationError on length mismatch
+        raise CodecError(f"invalid BitArray payload: {exc}") from exc
+
+
+def _encode_bloom(writer: _Writer, bloom: BloomFilter) -> None:
+    writer.u64(bloom.num_bits)
+    writer.u16(bloom.num_hashes)
+    writer.u64(bloom.num_items)
+    _encode_family(writer, bloom.family)
+    selection = bloom.initial_selection
+    writer.u16(len(selection))
+    for index in selection:
+        writer.u16(index)
+    _encode_bitarray(writer, bloom.bits)
+
+
+def _decode_bloom(reader: _Reader) -> BloomFilter:
+    num_bits = reader.u64()
+    num_hashes = reader.u16()
+    num_items = reader.u64()
+    family = _decode_family(reader)
+    selection = [reader.u16() for _ in range(reader.u16())]
+    for index in selection:
+        if index >= len(family):
+            raise CodecError(
+                f"selection index {index} out of range for family of size {len(family)}"
+            )
+    bits = _decode_bitarray(reader)
+    if len(bits) != num_bits:
+        raise CodecError(
+            f"Bloom frame bit-array length {len(bits)} != declared {num_bits}"
+        )
+    try:
+        bloom = BloomFilter(
+            num_bits=num_bits, num_hashes=num_hashes, family=family, selection=selection
+        )
+    except Exception as exc:
+        raise CodecError(f"invalid Bloom frame parameters: {exc}") from exc
+    bloom._bits = bits
+    bloom._num_items = num_items
+    return bloom
+
+
+def _encode_expressor(writer: _Writer, expressor: HashExpressor) -> None:
+    writer.u64(expressor.num_cells)
+    writer.u16(expressor.cell_hash_bits)
+    writer.u64(expressor.inserted_keys)
+    _encode_family(writer, expressor._family)
+    for value in expressor._hash_index:
+        writer.u16(value)
+    endbits = BitArray(max(1, expressor.num_cells))
+    for index, endbit in enumerate(expressor._endbit):
+        if endbit:
+            endbits.set(index)
+    _encode_bitarray(writer, endbits)
+
+
+def _decode_expressor(reader: _Reader) -> HashExpressor:
+    num_cells = reader.u64()
+    cell_hash_bits = reader.u16()
+    inserted_keys = reader.u64()
+    family = _decode_family(reader)
+    try:
+        expressor = HashExpressor(
+            num_cells=num_cells, cell_hash_bits=cell_hash_bits, family=family
+        )
+    except Exception as exc:
+        raise CodecError(f"invalid HashExpressor frame parameters: {exc}") from exc
+    limit = 1 << cell_hash_bits
+    hash_index = []
+    for _ in range(num_cells):
+        value = reader.u16()
+        if value >= limit:
+            raise CodecError(
+                f"cell hashindex {value} does not fit in {cell_hash_bits} bits"
+            )
+        hash_index.append(value)
+    endbits = _decode_bitarray(reader)
+    expressor._hash_index = hash_index
+    expressor._endbit = [endbits.test(i) for i in range(num_cells)]
+    expressor._inserted_keys = inserted_keys
+    return expressor
+
+
+def _encode_habf(writer: _Writer, habf: HABF) -> None:
+    params = habf.params
+    writer.u64(params.total_bits)
+    writer.u16(params.k)
+    writer.f64(params.delta)
+    writer.u16(params.cell_hash_bits)
+    writer.u64(params.seed)
+    writer.u16(params.max_queue_passes)
+    writer.u8(1 if habf._use_gamma else 0)
+    writer.u8(1 if habf._built else 0)
+    writer.bytes_field(dumps(habf.bloom))
+    if habf.expressor is not None:
+        writer.u8(1)
+        writer.bytes_field(dumps(habf.expressor))
+    else:
+        writer.u8(0)
+
+
+def _decode_habf(reader: _Reader, cls: type) -> HABF:
+    try:
+        params = HABFParams(
+            total_bits=reader.u64(),
+            k=reader.u16(),
+            delta=reader.f64(),
+            cell_hash_bits=reader.u16(),
+            seed=reader.u64(),
+            max_queue_passes=reader.u16(),
+        )
+    except CodecError:
+        raise
+    except Exception as exc:
+        raise CodecError(f"invalid HABF frame parameters: {exc}") from exc
+    use_gamma = reader.u8() != 0
+    built = reader.u8() != 0
+    bloom = loads(reader.bytes_field())
+    if not isinstance(bloom, BloomFilter):
+        raise CodecError("HABF frame does not embed a Bloom-filter frame")
+    expressor: Optional[HashExpressor] = None
+    if reader.u8():
+        nested = loads(reader.bytes_field())
+        if not isinstance(nested, HashExpressor):
+            raise CodecError("HABF frame does not embed a HashExpressor frame")
+        expressor = nested
+    habf = cls.__new__(cls)
+    habf._params = params
+    habf._family = bloom.family
+    habf._use_gamma = use_gamma
+    habf._bloom = bloom
+    habf._expressor = expressor
+    habf._stats = None
+    habf._built = built
+    return habf
+
+
+def _encode_xor(writer: _Writer, xor: XorFilter) -> None:
+    writer.u16(xor._fingerprint_bits)
+    writer.u64(xor._seed)
+    writer.u64(xor._num_keys)
+    writer.u64(xor._segment_length)
+    writer.u32(len(xor._slots))
+    for slot in xor._slots:
+        writer.u32(slot)
+
+
+def _decode_xor(reader: _Reader) -> XorFilter:
+    fingerprint_bits = reader.u16()
+    seed = reader.u64()
+    num_keys = reader.u64()
+    segment_length = reader.u64()
+    slot_count = reader.u32()
+    if not 1 <= fingerprint_bits <= 32:
+        raise CodecError(f"fingerprint_bits {fingerprint_bits} out of range")
+    if segment_length < 1:
+        raise CodecError("Xor frame segment length must be positive")
+    if slot_count != segment_length * 3:
+        raise CodecError(
+            f"Xor frame slot count {slot_count} != 3 * segment length {segment_length}"
+        )
+    mask = (1 << fingerprint_bits) - 1
+    slots = []
+    for _ in range(slot_count):
+        value = reader.u32()
+        if value > mask:
+            raise CodecError(f"Xor slot value {value} exceeds fingerprint mask {mask}")
+        slots.append(value)
+    xor = XorFilter.__new__(XorFilter)
+    xor._fingerprint_bits = fingerprint_bits
+    xor._fingerprint_mask = mask
+    xor._num_keys = num_keys
+    xor._segment_length = segment_length
+    xor._capacity = slot_count
+    xor._seed = seed
+    xor._slots = slots
+    return xor
+
+
+def _encode_store(writer: _Writer, store: Any) -> None:
+    writer.u32(store.num_shards)
+    writer.u64(store.router_seed)
+    writer.str_field(store.backend_name)
+    for filt, key_count in zip(store.filters, store.shard_key_counts):
+        writer.u64(key_count)
+        writer.bytes_field(dumps(filt))
+
+
+def _decode_store(reader: _Reader) -> Any:
+    from repro.service.shards import ShardedFilterStore
+
+    num_shards = reader.u32()
+    router_seed = reader.u64()
+    backend_name = reader.str_field()
+    filters = []
+    key_counts = []
+    for _ in range(num_shards):
+        key_counts.append(reader.u64())
+        filters.append(loads(reader.bytes_field()))
+    return ShardedFilterStore.from_parts(
+        filters=filters,
+        router_seed=router_seed,
+        backend_name=backend_name,
+        shard_key_counts=key_counts,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Public API
+# --------------------------------------------------------------------- #
+def dumps(obj: Any) -> bytes:
+    """Serialize a supported filter structure into one binary frame."""
+    from repro.kvstore.filter_policy import AlwaysContainsFilter
+    from repro.service.shards import EmptyShardFilter, ShardedFilterStore
+
+    writer = _Writer()
+    if isinstance(obj, ShardedFilterStore):
+        tag = TAG_SHARDED_STORE
+        _encode_store(writer, obj)
+    elif isinstance(obj, EmptyShardFilter):
+        tag = TAG_EMPTY_SHARD
+    elif isinstance(obj, AlwaysContainsFilter):
+        tag = TAG_ALWAYS_CONTAINS
+    elif isinstance(obj, FastHABF):
+        tag = TAG_FAST_HABF
+        _encode_habf(writer, obj)
+    elif isinstance(obj, HABF):
+        tag = TAG_HABF
+        _encode_habf(writer, obj)
+    elif isinstance(obj, BloomFilter):
+        tag = TAG_BLOOM
+        _encode_bloom(writer, obj)
+    elif isinstance(obj, HashExpressor):
+        tag = TAG_EXPRESSOR
+        _encode_expressor(writer, obj)
+    elif isinstance(obj, XorFilter):
+        tag = TAG_XOR
+        _encode_xor(writer, obj)
+    elif isinstance(obj, BitArray):
+        tag = TAG_BITARRAY
+        _encode_bitarray(writer, obj)
+    else:
+        raise CodecError(
+            f"cannot serialize object of type {type(obj).__name__}; supported: "
+            "BitArray, BloomFilter, HashExpressor, HABF, FastHABF, XorFilter, "
+            "ShardedFilterStore and the degenerate shard/table filters"
+        )
+    payload = writer.getvalue()
+    header = _HEADER.pack(FRAME_MAGIC, CODEC_VERSION, tag, len(payload))
+    crc = zlib.crc32(header[4:] + payload)
+    return header + payload + struct.pack(">I", crc)
+
+
+def loads(data: bytes) -> Any:
+    """Decode one binary frame back into the filter structure it encodes.
+
+    Raises:
+        CodecError: on bad magic, unsupported version, unknown type tag,
+            truncation, trailing garbage or checksum mismatch.
+    """
+    if len(data) < _HEADER.size + 4:
+        raise CodecError(
+            f"frame too short: {len(data)} bytes < minimum {_HEADER.size + 4}"
+        )
+    magic, version, tag, length = _HEADER.unpack_from(data)
+    if magic != FRAME_MAGIC:
+        raise CodecError(f"bad frame magic {magic!r} (expected {FRAME_MAGIC!r})")
+    if version != CODEC_VERSION:
+        raise CodecError(
+            f"unsupported frame version {version} (this codec reads version {CODEC_VERSION})"
+        )
+    end = _HEADER.size + length
+    if len(data) != end + 4:
+        raise CodecError(
+            f"frame length mismatch: header declares {length} payload bytes "
+            f"but frame holds {len(data) - _HEADER.size - 4}"
+        )
+    payload = data[_HEADER.size : end]
+    (stored_crc,) = struct.unpack_from(">I", data, end)
+    actual_crc = zlib.crc32(data[4:end])
+    if stored_crc != actual_crc:
+        raise CodecError(
+            f"checksum mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+        )
+    reader = _Reader(payload)
+    try:
+        if tag == TAG_BITARRAY:
+            result: Any = _decode_bitarray(reader)
+        elif tag == TAG_BLOOM:
+            result = _decode_bloom(reader)
+        elif tag == TAG_EXPRESSOR:
+            result = _decode_expressor(reader)
+        elif tag == TAG_HABF:
+            result = _decode_habf(reader, HABF)
+        elif tag == TAG_FAST_HABF:
+            result = _decode_habf(reader, FastHABF)
+        elif tag == TAG_XOR:
+            result = _decode_xor(reader)
+        elif tag == TAG_SHARDED_STORE:
+            result = _decode_store(reader)
+        elif tag == TAG_EMPTY_SHARD:
+            from repro.service.shards import EmptyShardFilter
+
+            result = EmptyShardFilter()
+        elif tag == TAG_ALWAYS_CONTAINS:
+            from repro.kvstore.filter_policy import AlwaysContainsFilter
+
+            result = AlwaysContainsFilter()
+        else:
+            raise CodecError(f"unknown frame type tag {tag}")
+        reader.expect_end()
+    except CodecError:
+        raise
+    except Exception as exc:
+        # Structurally valid bytes can still describe an unbuildable object
+        # (zero shards, unknown primitive name, ...); callers are promised
+        # CodecError for every malformed frame, so normalise here.
+        raise CodecError(f"malformed frame payload: {exc}") from exc
+    return result
+
+
+def dump(obj: Any, path) -> int:
+    """Serialize ``obj`` to ``path``; returns the number of bytes written."""
+    frame = dumps(obj)
+    with open(path, "wb") as handle:
+        handle.write(frame)
+    return len(frame)
+
+
+def load(path) -> Any:
+    """Read one frame from ``path`` and decode it."""
+    with open(path, "rb") as handle:
+        return loads(handle.read())

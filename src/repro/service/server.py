@@ -1,0 +1,310 @@
+"""Generation-versioned membership serving with atomic hot-swap rebuilds.
+
+A :class:`MembershipService` owns one immutable :class:`Snapshot` (a built
+:class:`~repro.service.shards.ShardedFilterStore` plus its generation number)
+and serves every query from it.  A rebuild constructs a *new* store off to
+the side — the old snapshot keeps answering queries the whole time — and then
+swaps the snapshot reference in one assignment.  Queries read the reference
+once per call, so a query sees either the old generation or the new one in
+full, never a half-built store.
+
+The blacklist-gateway deployment the paper motivates maps directly onto this:
+the blacklist is re-fetched periodically, a new generation is built from it,
+and the gateway never stops filtering while that happens.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence
+
+from repro.errors import ServiceError
+from repro.hashing.base import Key
+from repro.metrics.timing import latency_percentiles
+from repro.service import codec
+from repro.service.backends import BackendSpec
+from repro.service.shards import ShardedFilterStore
+from repro.service.stats import LatencyWindow, ServiceStats
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One immutable serving generation.
+
+    Attributes:
+        generation: Monotonically increasing version number (1 = first load).
+        store: The sharded filter store answering this generation's queries.
+        num_keys: Positive keys the store was built from.
+    """
+
+    generation: int
+    store: ShardedFilterStore
+    num_keys: int
+
+
+class MembershipService:
+    """Serves membership queries over a sharded, hot-rebuildable filter store.
+
+    Args:
+        backend: Filter backend for every shard — a registered name
+            (``"habf"``, ``"f-habf"``, ``"bloom"``, ``"xor"``) or a
+            FilterPolicy-like instance.
+        num_shards: Number of shards per generation.
+        max_batch_size: ``query_many`` batches larger than this are rejected
+            with a :class:`~repro.errors.ServiceError` (and counted), so one
+            malformed caller cannot stall the service.
+        router_seed: Seed for the shard router (stable across generations, so
+            placement — and therefore shard-level stats — stays comparable).
+        latency_window: Number of recent per-key latency samples kept for the
+            percentile report.
+        backend_kwargs: Forwarded to the backend factory when ``backend`` is
+            a name (e.g. ``bits_per_key=12.0``).
+    """
+
+    def __init__(
+        self,
+        backend: BackendSpec = "habf",
+        num_shards: int = 4,
+        max_batch_size: int = 65536,
+        router_seed: int = 0,
+        latency_window: int = 4096,
+        **backend_kwargs,
+    ) -> None:
+        if num_shards < 1:
+            raise ServiceError("num_shards must be at least 1")
+        if max_batch_size < 1:
+            raise ServiceError("max_batch_size must be at least 1")
+        self._backend = backend
+        self._backend_kwargs = dict(backend_kwargs)
+        self._num_shards = num_shards
+        self._max_batch_size = max_batch_size
+        self._router_seed = router_seed
+        self._snapshot: Optional[Snapshot] = None
+        self._swap_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._latency = LatencyWindow(latency_window)
+        self._queries = 0
+        self._batches = 0
+        self._rejected_batches = 0
+        self._positives = 0
+        self._rebuilds = 0
+
+    # ------------------------------------------------------------------ #
+    # Loading and rebuilding
+    # ------------------------------------------------------------------ #
+    def _build_store(
+        self,
+        keys: Sequence[Key],
+        negatives: Sequence[Key],
+        costs: Optional[Mapping[Key, float]],
+    ) -> ShardedFilterStore:
+        return ShardedFilterStore.build(
+            keys,
+            negatives=negatives,
+            costs=costs,
+            num_shards=self._num_shards,
+            backend=self._backend,
+            router_seed=self._router_seed,
+            **self._backend_kwargs,
+        )
+
+    def load(
+        self,
+        keys: Sequence[Key],
+        negatives: Sequence[Key] = (),
+        costs: Optional[Mapping[Key, float]] = None,
+    ) -> int:
+        """Build the first generation and start serving; returns its number.
+
+        On a service that is already serving this behaves exactly like
+        :meth:`rebuild`.
+        """
+        return self.rebuild(keys, negatives=negatives, costs=costs)
+
+    def rebuild(
+        self,
+        keys: Sequence[Key],
+        negatives: Sequence[Key] = (),
+        costs: Optional[Mapping[Key, float]] = None,
+    ) -> int:
+        """Build a new generation from ``keys`` and atomically swap it in.
+
+        The current snapshot keeps serving until the new store is fully
+        built; the swap itself is a single reference assignment under a lock
+        (the lock serialises concurrent rebuilds, not queries).
+        """
+        keys = list(keys)
+        store = self._build_store(keys, list(negatives), costs)
+        with self._swap_lock:
+            previous = self._snapshot
+            generation = previous.generation + 1 if previous else 1
+            self._snapshot = Snapshot(generation=generation, store=store, num_keys=len(keys))
+            if previous is not None:
+                with self._stats_lock:
+                    self._rebuilds += 1
+        return generation
+
+    def install_snapshot(self, store: ShardedFilterStore, num_keys: Optional[int] = None) -> int:
+        """Swap in an externally built (e.g. codec-loaded) store.
+
+        The service adopts the store's shard count and router seed so that a
+        later :meth:`rebuild` produces comparable shard placement instead of
+        silently reverting to the constructor's geometry.
+        """
+        with self._swap_lock:
+            previous = self._snapshot
+            generation = previous.generation + 1 if previous else 1
+            self._num_shards = store.num_shards
+            self._router_seed = store.router_seed
+            self._snapshot = Snapshot(
+                generation=generation,
+                store=store,
+                num_keys=store.num_keys() if num_keys is None else num_keys,
+            )
+            if previous is not None:
+                with self._stats_lock:
+                    self._rebuilds += 1
+        return generation
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def _serving_snapshot(self) -> Snapshot:
+        snapshot = self._snapshot
+        if snapshot is None:
+            raise ServiceError("the service has no snapshot yet; call load() first")
+        return snapshot
+
+    def query(self, key: Key) -> bool:
+        """Membership test against the current generation."""
+        snapshot = self._serving_snapshot()
+        start = time.perf_counter()
+        answer = snapshot.store.query(key)
+        elapsed = time.perf_counter() - start
+        with self._stats_lock:
+            self._queries += 1
+            if answer:
+                self._positives += 1
+            self._latency.record(elapsed)
+        return answer
+
+    def query_many(self, keys: Sequence[Key]) -> List[bool]:
+        """Batch membership test against the current generation, in input order.
+
+        Raises:
+            ServiceError: for empty or oversized batches (counted in
+                ``rejected_batches``); the service state is unchanged.
+        """
+        keys = list(keys)
+        if not keys or len(keys) > self._max_batch_size:
+            with self._stats_lock:
+                self._rejected_batches += 1
+            raise ServiceError(
+                f"batch of {len(keys)} keys rejected; accepted sizes are "
+                f"1..{self._max_batch_size}"
+            )
+        snapshot = self._serving_snapshot()
+        start = time.perf_counter()
+        answers = snapshot.store.query_many(keys)
+        elapsed = time.perf_counter() - start
+        with self._stats_lock:
+            self._queries += len(keys)
+            self._batches += 1
+            self._positives += sum(answers)
+            self._latency.record(elapsed / len(keys))
+        return answers
+
+    def __contains__(self, key: Key) -> bool:
+        return self.query(key)
+
+    # ------------------------------------------------------------------ #
+    # Introspection and persistence
+    # ------------------------------------------------------------------ #
+    @property
+    def generation(self) -> int:
+        """Generation currently serving (0 before the first load)."""
+        snapshot = self._snapshot
+        return snapshot.generation if snapshot else 0
+
+    @property
+    def snapshot(self) -> Optional[Snapshot]:
+        """The current serving snapshot, or ``None`` before the first load."""
+        return self._snapshot
+
+    def stats(self) -> ServiceStats:
+        """A point-in-time copy of every counter plus latency percentiles.
+
+        Scalar queries contribute true per-key samples; each accepted batch
+        contributes its per-key *average* as one sample, so tail figures
+        reflect scalar calls and batch-level behaviour, not per-key tails
+        inside a batch (measuring those would require timing every key and
+        defeat batching).
+        """
+        snapshot = self._snapshot
+        # Copy counters and the sample window under the lock; the O(n log n)
+        # percentile summary runs after release so it never stalls queries.
+        with self._stats_lock:
+            counters = (
+                self._queries,
+                self._batches,
+                self._rejected_batches,
+                self._positives,
+                self._rebuilds,
+            )
+            samples = self._latency.samples()
+        queries, batches, rejected, positives, rebuilds = counters
+        return ServiceStats(
+            generation=snapshot.generation if snapshot else 0,
+            num_keys=snapshot.num_keys if snapshot else 0,
+            queries=queries,
+            batches=batches,
+            rejected_batches=rejected,
+            positives=positives,
+            rebuilds=rebuilds,
+            shards=snapshot.store.shard_stats() if snapshot else [],
+            latency=latency_percentiles(samples) if samples else None,
+        )
+
+    def save_snapshot(self, path) -> int:
+        """Serialize the serving store to ``path``; returns bytes written."""
+        return codec.dump(self._serving_snapshot().store, path)
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        path,
+        backend: BackendSpec = "habf",
+        max_batch_size: int = 65536,
+        latency_window: int = 4096,
+        **backend_kwargs,
+    ) -> "MembershipService":
+        """Start a service from a codec snapshot written by :meth:`save_snapshot`.
+
+        ``backend`` only matters for later :meth:`rebuild` calls; the loaded
+        generation serves exactly the filters in the snapshot.
+        """
+        store = codec.load(path)
+        if not isinstance(store, ShardedFilterStore):
+            raise ServiceError(
+                f"snapshot at {path!s} holds {type(store).__name__}, "
+                "expected a ShardedFilterStore frame"
+            )
+        service = cls(
+            backend=backend,
+            num_shards=store.num_shards,
+            max_batch_size=max_batch_size,
+            router_seed=store.router_seed,
+            latency_window=latency_window,
+            **backend_kwargs,
+        )
+        service.install_snapshot(store)
+        return service
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        snapshot = self._snapshot
+        return (
+            f"MembershipService(generation={snapshot.generation if snapshot else 0}, "
+            f"shards={self._num_shards}, backend={self._backend!r})"
+        )

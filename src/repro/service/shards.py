@@ -1,0 +1,284 @@
+"""Key-sharded filter store: N independently-built filters behind one router.
+
+Sharding serves three purposes the single-filter core cannot:
+
+* **construction scale** — TPJO construction is superlinear-ish in practice;
+  building N filters over N-times-smaller key sets is faster and bounds the
+  per-filter hash-family pressure;
+* **rebuild granularity** — the serving layer swaps whole stores atomically,
+  and smaller shards keep each build step short;
+* **batch locality** — ``query_many`` groups a batch's keys per shard and
+  answers each group with one ``contains_many`` call, the pattern a gateway
+  checking a page full of URLs produces.
+
+The router hashes keys with a hash that is *independent* of every filter's
+own hash family (a salted xxhash), so shard placement never correlates with
+filter false positives.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import replace
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.hashing.base import Key, mix64, normalize_key
+from repro.hashing.primitives import xxhash
+from repro.service.backends import BackendSpec, resolve_backend
+from repro.service.stats import ShardStats
+
+
+class EmptyShardFilter:
+    """Filter for a shard that received no keys: rejects everything.
+
+    (Contrast :class:`repro.kvstore.filter_policy.NoFilterPolicy`'s
+    always-contains filter, which is the safe default when a *table* has no
+    filter; a membership shard with no keys genuinely holds nothing.)
+    """
+
+    algorithm_name = "empty"
+
+    def contains(self, key: Key) -> bool:
+        return False
+
+    def __contains__(self, key: Key) -> bool:
+        return False
+
+    def contains_many(self, keys: Iterable[Key]) -> List[bool]:
+        return [False for _ in keys]
+
+    def size_in_bits(self) -> int:
+        return 0
+
+
+class ShardRouter:
+    """Deterministic key → shard mapping, independent of filter hashing."""
+
+    def __init__(self, num_shards: int, seed: int = 0) -> None:
+        if num_shards < 1:
+            raise ConfigurationError("num_shards must be at least 1")
+        self._num_shards = num_shards
+        self._salt = mix64(seed ^ 0x5348_4152_4453_4545)  # "SHARDSEE"
+
+    @property
+    def num_shards(self) -> int:
+        return self._num_shards
+
+    @property
+    def seed_salt(self) -> int:
+        return self._salt
+
+    def shard_of(self, key: Key) -> int:
+        """Return the shard index ``key`` routes to."""
+        return mix64(xxhash(normalize_key(key)) ^ self._salt) % self._num_shards
+
+
+class ShardedFilterStore:
+    """A fixed set of filters, one per shard, built by a shared backend.
+
+    Build one with :meth:`build`; query with :meth:`query` /
+    :meth:`query_many`; persist with :func:`repro.service.codec.dumps` (the
+    whole store is one frame) and revive with ``loads``.
+    """
+
+    def __init__(
+        self,
+        filters: Sequence[object],
+        router_seed: int = 0,
+        backend_name: str = "unknown",
+        shard_key_counts: Optional[Sequence[int]] = None,
+    ) -> None:
+        if not filters:
+            raise ConfigurationError("a sharded store needs at least one shard")
+        self._filters: List[object] = list(filters)
+        self._router = ShardRouter(len(self._filters), seed=router_seed)
+        self._router_seed = router_seed
+        self._backend_name = backend_name
+        counts = list(shard_key_counts) if shard_key_counts is not None else [0] * len(self._filters)
+        if len(counts) != len(self._filters):
+            raise ConfigurationError(
+                f"shard_key_counts length {len(counts)} != shard count {len(self._filters)}"
+            )
+        self._stats = [
+            ShardStats(shard=index, num_keys=counts[index], size_in_bits=self._filter_bits(index))
+            for index in range(len(self._filters))
+        ]
+        # Counter updates are read-modify-write; the serving layer queries
+        # from multiple threads, so they need their own lock (queries
+        # themselves touch only immutable filter state and stay lock-free).
+        self._stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        keys: Sequence[Key],
+        negatives: Sequence[Key] = (),
+        costs: Optional[Mapping[Key, float]] = None,
+        num_shards: int = 4,
+        backend: BackendSpec = "habf",
+        router_seed: int = 0,
+        **backend_kwargs,
+    ) -> "ShardedFilterStore":
+        """Partition ``keys`` across ``num_shards`` filters and build each one.
+
+        Negative keys (and their costs) are routed to the same shards their
+        hashes select, so each shard's filter is steered only by the negatives
+        it can actually be queried with.
+        """
+        keys = list(keys)
+        if not keys:
+            raise ConfigurationError("cannot build a sharded store from an empty key set")
+        policy = resolve_backend(backend, **backend_kwargs)
+        router = ShardRouter(num_shards, seed=router_seed)
+        shard_keys: List[List[Key]] = [[] for _ in range(num_shards)]
+        for key in keys:
+            shard_keys[router.shard_of(key)].append(key)
+        shard_negatives: List[List[Key]] = [[] for _ in range(num_shards)]
+        for key in negatives:
+            shard_negatives[router.shard_of(key)].append(key)
+        filters: List[object] = []
+        for shard in range(num_shards):
+            if not shard_keys[shard]:
+                filters.append(EmptyShardFilter())
+                continue
+            shard_costs = None
+            if costs:
+                shard_costs = {
+                    key: costs[key] for key in shard_negatives[shard] if key in costs
+                }
+            filters.append(
+                policy.create_filter(
+                    shard_keys[shard],
+                    negatives=shard_negatives[shard],
+                    costs=shard_costs,
+                )
+            )
+        return cls(
+            filters=filters,
+            router_seed=router_seed,
+            backend_name=getattr(policy, "name", type(policy).__name__),
+            shard_key_counts=[len(group) for group in shard_keys],
+        )
+
+    @classmethod
+    def from_parts(
+        cls,
+        filters: Sequence[object],
+        router_seed: int,
+        backend_name: str,
+        shard_key_counts: Optional[Sequence[int]] = None,
+    ) -> "ShardedFilterStore":
+        """Reassemble a store from decoded parts (used by the codec)."""
+        return cls(
+            filters=filters,
+            router_seed=router_seed,
+            backend_name=backend_name,
+            shard_key_counts=shard_key_counts,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        """Number of shards (fixed at build time)."""
+        return len(self._filters)
+
+    @property
+    def router_seed(self) -> int:
+        """Seed the router derives its placement salt from."""
+        return self._router_seed
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the backend the shard filters were built with."""
+        return self._backend_name
+
+    @property
+    def filters(self) -> List[object]:
+        """The per-shard filters, in shard order (shared, not copied)."""
+        return self._filters
+
+    @property
+    def shard_key_counts(self) -> List[int]:
+        """Positive keys per shard at build time."""
+        return [stats.num_keys for stats in self._stats]
+
+    def shard_stats(self) -> List[ShardStats]:
+        """Point-in-time copies of the per-shard counters."""
+        with self._stats_lock:
+            return [replace(stats) for stats in self._stats]
+
+    def num_keys(self) -> int:
+        """Total positive keys across all shards."""
+        return sum(stats.num_keys for stats in self._stats)
+
+    def _filter_bits(self, shard: int) -> int:
+        size = getattr(self._filters[shard], "size_in_bits", None)
+        return int(size()) if callable(size) else 0
+
+    def size_in_bits(self) -> int:
+        """Total serialized filter payload across shards, in bits."""
+        return sum(self._filter_bits(shard) for shard in range(len(self._filters)))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def shard_of(self, key: Key) -> int:
+        """Expose the routing decision (useful for debugging placement)."""
+        return self._router.shard_of(key)
+
+    def query(self, key: Key) -> bool:
+        """Membership test for one key against its shard's filter."""
+        shard = self._router.shard_of(key)
+        answer = self._filters[shard].contains(key)
+        with self._stats_lock:
+            stats = self._stats[shard]
+            stats.queries += 1
+            if answer:
+                stats.positives += 1
+        return answer
+
+    def query_many(self, keys: Sequence[Key]) -> List[bool]:
+        """Batch membership test, in input order.
+
+        Keys are grouped per shard and each group is answered with one
+        ``contains_many`` call, so backends that optimise batches (or later,
+        vectorised backends) see contiguous work.
+        """
+        keys = list(keys)
+        results: List[bool] = [False] * len(keys)
+        groups: dict = {}
+        for position, key in enumerate(keys):
+            groups.setdefault(self._router.shard_of(key), []).append(position)
+        for shard, positions in groups.items():
+            filt = self._filters[shard]
+            shard_keys = [keys[position] for position in positions]
+            batch = getattr(filt, "contains_many", None)
+            if batch is not None:
+                answers = batch(shard_keys)
+            else:
+                answers = [filt.contains(key) for key in shard_keys]
+            hits = 0
+            for position, answer in zip(positions, answers):
+                results[position] = bool(answer)
+                if answer:
+                    hits += 1
+            with self._stats_lock:
+                stats = self._stats[shard]
+                stats.queries += len(positions)
+                stats.positives += hits
+        return results
+
+    def __contains__(self, key: Key) -> bool:
+        return self.query(key)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedFilterStore(shards={self.num_shards}, backend={self._backend_name!r}, "
+            f"keys={self.num_keys()})"
+        )

@@ -1,0 +1,98 @@
+"""Statistics containers for the membership-serving subsystem.
+
+The service reports two kinds of numbers: monotone counters (queries,
+positives, rebuilds, rejected batches — per shard and aggregated) and latency
+percentiles computed from a bounded window of recent per-key latencies via
+:func:`repro.metrics.timing.latency_percentiles`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.metrics.timing import LatencyPercentiles, latency_percentiles
+
+
+@dataclass
+class ShardStats:
+    """Counters for one shard of a :class:`~repro.service.shards.ShardedFilterStore`.
+
+    Attributes:
+        shard: Shard index.
+        num_keys: Positive keys routed to this shard at build time.
+        queries: Membership tests answered by this shard.
+        positives: Tests answered "present".
+        size_in_bits: Serialized size of the shard's filter.
+    """
+
+    shard: int
+    num_keys: int = 0
+    queries: int = 0
+    positives: int = 0
+    size_in_bits: int = 0
+
+
+@dataclass
+class ServiceStats:
+    """A point-in-time snapshot of a :class:`~repro.service.server.MembershipService`.
+
+    Attributes:
+        generation: Generation number of the snapshot currently serving.
+        num_keys: Positive keys in the serving snapshot.
+        queries: Total keys tested (scalar and batch combined).
+        batches: ``query_many`` calls accepted.
+        rejected_batches: ``query_many`` calls refused (oversized or empty).
+        positives: Tests answered "present".
+        rebuilds: Completed hot rebuilds (generation swaps after the first load).
+        shards: Per-shard counters, in shard order.
+        latency: Percentile summary of recent latency samples (scalar calls
+            are true per-key latencies; each batch contributes its per-key
+            average as one sample), or ``None`` before the first query.
+    """
+
+    generation: int
+    num_keys: int
+    queries: int
+    batches: int
+    rejected_batches: int
+    positives: int
+    rebuilds: int
+    shards: List[ShardStats] = field(default_factory=list)
+    latency: Optional[LatencyPercentiles] = None
+
+
+class LatencyWindow:
+    """A fixed-size ring buffer of latency samples (seconds).
+
+    Keeps the most recent ``capacity`` samples so percentiles reflect current
+    behaviour rather than the whole process lifetime, with O(1) memory.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("latency window capacity must be positive")
+        self._capacity = capacity
+        self._samples: List[float] = []
+        self._cursor = 0
+
+    def record(self, seconds: float) -> None:
+        """Add one sample, evicting the oldest once the window is full."""
+        if len(self._samples) < self._capacity:
+            self._samples.append(seconds)
+        else:
+            self._samples[self._cursor] = seconds
+            self._cursor = (self._cursor + 1) % self._capacity
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def samples(self) -> List[float]:
+        """A copy of the current window (so callers can summarise unlocked)."""
+        return list(self._samples)
+
+    def percentiles(self) -> Optional[LatencyPercentiles]:
+        """Summarise the window, or ``None`` when no samples were recorded."""
+        if not self._samples:
+            return None
+        return latency_percentiles(self._samples)

@@ -1,0 +1,60 @@
+"""SSTable filter dump/restore through the service codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CodecError
+from repro.kvstore.filter_policy import (
+    BloomFilterPolicy,
+    HABFFilterPolicy,
+    NoFilterPolicy,
+    XorFilterPolicy,
+)
+from repro.kvstore.sstable import SSTable
+
+
+def _table(policy, count=300):
+    entries = [(f"row:{i:05d}", i) for i in range(0, count * 2, 2)]
+    negatives = [f"row:{i:05d}" for i in range(1, count, 2)]
+    return SSTable(entries, filter_policy=policy, negatives=negatives)
+
+
+@pytest.mark.parametrize(
+    "policy", [BloomFilterPolicy(10.0), HABFFilterPolicy(10.0), XorFilterPolicy(10.0)]
+)
+def test_filter_round_trips_and_guards_identically(policy):
+    table = _table(policy)
+    frame = table.dump_filter()
+    probe = [f"row:{i:05d}" for i in range(600)]
+    before = [table.filter.contains(key) for key in probe]
+    table.restore_filter(frame)
+    assert [table.filter.contains(key) for key in probe] == before
+    # The read path still works after the swap, with zero false negatives.
+    found, value, _ = table.get("row:00004")
+    assert found and value == 4
+
+
+def test_restore_rejects_filter_from_another_table():
+    table_a = _table(BloomFilterPolicy(10.0))
+    table_b = SSTable(
+        [(f"other:{i}", i) for i in range(200)], filter_policy=BloomFilterPolicy(10.0)
+    )
+    with pytest.raises(CodecError, match="misses"):
+        table_a.restore_filter(table_b.dump_filter())
+
+
+def test_restore_rejects_corrupt_frames():
+    table = _table(BloomFilterPolicy(10.0))
+    frame = bytearray(table.dump_filter())
+    frame[len(frame) // 2] ^= 0xFF
+    with pytest.raises(CodecError):
+        table.restore_filter(bytes(frame))
+
+
+def test_no_filter_policy_round_trips_as_always_contains():
+    table = _table(NoFilterPolicy())
+    table.restore_filter(table.dump_filter())
+    # The degenerate filter still routes every lookup to the table.
+    found, value, cost = table.get("row:00004")
+    assert found and value == 4 and cost > 0

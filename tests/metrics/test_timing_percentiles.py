@@ -1,0 +1,53 @@
+"""Latency-percentile helpers (p50/p95/p99) in :mod:`repro.metrics.timing`."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics import LatencyPercentiles, latency_percentiles, percentile
+
+
+def test_percentile_of_known_series():
+    samples = [float(value) for value in range(1, 101)]  # 1..100
+    assert percentile(samples, 0.0) == 1.0
+    assert percentile(samples, 100.0) == 100.0
+    assert percentile(samples, 50.0) == pytest.approx(50.5)
+    assert percentile(samples, 95.0) == pytest.approx(95.05)
+    assert percentile(samples, 99.0) == pytest.approx(99.01)
+
+
+def test_percentile_is_order_independent():
+    rng = random.Random(3)
+    samples = [rng.random() for _ in range(500)]
+    shuffled = list(samples)
+    rng.shuffle(shuffled)
+    for q in (10.0, 50.0, 95.0, 99.0):
+        assert percentile(samples, q) == percentile(shuffled, q)
+
+
+def test_percentile_single_sample_and_errors():
+    assert percentile([7.0], 99.0) == 7.0
+    with pytest.raises(ConfigurationError):
+        percentile([], 50.0)
+    with pytest.raises(ConfigurationError):
+        percentile([1.0], 101.0)
+
+
+def test_latency_percentiles_summary():
+    samples = [float(value) for value in range(1, 101)]
+    summary = latency_percentiles(samples)
+    assert isinstance(summary, LatencyPercentiles)
+    assert summary.count == 100
+    assert summary.mean == pytest.approx(50.5)
+    assert summary.p50 <= summary.p95 <= summary.p99
+    micros = summary.scaled(1e6)
+    assert micros.p50 == pytest.approx(summary.p50 * 1e6)
+    assert micros.count == summary.count
+
+
+def test_latency_percentiles_rejects_empty():
+    with pytest.raises(ConfigurationError):
+        latency_percentiles([])

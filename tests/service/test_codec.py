@@ -1,0 +1,199 @@
+"""Codec round-trip and corruption tests (property-style over seeds)."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.baselines.xor_filter import XorFilter
+from repro.core.bitarray import BitArray
+from repro.core.bloom import BloomFilter, optimal_num_hashes
+from repro.core.habf import HABF, FastHABF
+from repro.errors import CodecError
+from repro.hashing.double_hashing import DoubleHashFamily
+from repro.hashing.registry import build_family
+from repro.service import codec
+from repro.workloads.shalla import generate_shalla_like
+
+
+def _dataset(seed: int):
+    data = generate_shalla_like(num_positives=400, num_negatives=350, seed=seed)
+    unseen = [f"unseen-{seed}-{i}" for i in range(300)]
+    return data.positives, data.negatives, data.positives + data.negatives + unseen
+
+
+def _recrc(frame: bytes) -> bytes:
+    """Recompute the trailing CRC of a (possibly mutated) frame body."""
+    import zlib
+
+    body = frame[:-4]
+    return body + struct.pack(">I", zlib.crc32(body[4:]))
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23])
+def test_bitarray_round_trip(seed):
+    bits = BitArray.from_indices(997, [i * seed % 997 for i in range(250)])
+    revived = codec.loads(codec.dumps(bits))
+    assert revived == bits
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23])
+def test_bloom_round_trip_answers_identically(seed):
+    positives, _, probe = _dataset(seed)
+    bloom = BloomFilter(num_bits=4096, num_hashes=optimal_num_hashes(10.0))
+    bloom.add_all(positives)
+    revived = codec.loads(codec.dumps(bloom))
+    assert isinstance(revived, BloomFilter)
+    assert revived.num_items == bloom.num_items
+    assert [revived.contains(k) for k in probe] == [bloom.contains(k) for k in probe]
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23])
+def test_habf_round_trip_preserves_zero_false_negatives(seed):
+    positives, negatives, probe = _dataset(seed)
+    habf = HABF.build(positives, negatives, bits_per_key=10.0)
+    revived = codec.loads(codec.dumps(habf))
+    assert isinstance(revived, HABF) and not isinstance(revived, FastHABF)
+    assert all(revived.contains(key) for key in positives)
+    assert [revived.contains(k) for k in probe] == [habf.contains(k) for k in probe]
+    assert revived.size_in_bits() == habf.size_in_bits()
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23])
+def test_fast_habf_round_trip(seed):
+    positives, negatives, probe = _dataset(seed)
+    fast = FastHABF.build(positives, negatives, bits_per_key=10.0)
+    revived = codec.loads(codec.dumps(fast))
+    assert type(revived) is FastHABF
+    assert all(revived.contains(key) for key in positives)
+    assert [revived.contains(k) for k in probe] == [fast.contains(k) for k in probe]
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23])
+def test_xor_round_trip(seed):
+    positives, _, probe = _dataset(seed)
+    xor = XorFilter.from_bits_per_key(positives, 10.0, seed=seed)
+    revived = codec.loads(codec.dumps(xor))
+    assert isinstance(revived, XorFilter)
+    assert all(revived.contains(key) for key in positives)
+    assert [revived.contains(k) for k in probe] == [xor.contains(k) for k in probe]
+
+
+def test_hash_expressor_round_trip():
+    positives, negatives, _ = _dataset(3)
+    habf = HABF.build(positives, negatives, bits_per_key=10.0)
+    expressor = habf.expressor
+    assert expressor is not None and expressor.inserted_keys > 0
+    revived = codec.loads(codec.dumps(expressor))
+    k = habf.params.k
+    for key in positives + negatives:
+        assert revived.query(key, k) == expressor.query(key, k)
+    assert revived.inserted_keys == expressor.inserted_keys
+    assert revived.stats() == expressor.stats()
+
+
+def test_custom_named_family_round_trips():
+    family = build_family(["fnv", "djb", "sdbm", "murmur3", "xxhash"], seed=9, name="mini")
+    positives, _, probe = _dataset(11)
+    bloom = BloomFilter(num_bits=4096, num_hashes=3, family=family)
+    bloom.add_all(positives)
+    revived = codec.loads(codec.dumps(bloom))
+    assert revived.family.name == "mini"
+    assert [revived.contains(k) for k in probe] == [bloom.contains(k) for k in probe]
+
+
+def test_double_hash_family_round_trips_with_seed():
+    family = DoubleHashFamily(size=6, primitive="murmur3", seed=42)
+    positives, _, probe = _dataset(13)
+    bloom = BloomFilter(num_bits=4096, num_hashes=3, family=family)
+    bloom.add_all(positives)
+    revived = codec.loads(codec.dumps(bloom))
+    assert isinstance(revived.family, DoubleHashFamily)
+    assert revived.family.seed == 42
+    assert [revived.contains(k) for k in probe] == [bloom.contains(k) for k in probe]
+
+
+def test_file_dump_and_load(tmp_path):
+    positives, negatives, probe = _dataset(5)
+    habf = HABF.build(positives, negatives, bits_per_key=10.0)
+    path = tmp_path / "filter.habf"
+    written = codec.dump(habf, path)
+    assert path.stat().st_size == written
+    revived = codec.load(path)
+    assert [revived.contains(k) for k in probe] == [habf.contains(k) for k in probe]
+
+
+# --------------------------------------------------------------------- #
+# Rejection of malformed frames
+# --------------------------------------------------------------------- #
+def test_rejects_bad_magic():
+    frame = codec.dumps(BitArray.from_indices(64, [1, 2, 3]))
+    with pytest.raises(CodecError, match="magic"):
+        codec.loads(b"NOPE" + frame[4:])
+
+
+def test_rejects_wrong_version():
+    frame = bytearray(codec.dumps(BitArray.from_indices(64, [1, 2, 3])))
+    frame[4] = codec.CODEC_VERSION + 1
+    with pytest.raises(CodecError, match="version"):
+        codec.loads(_recrc(bytes(frame)))
+
+
+def test_rejects_unknown_type_tag():
+    frame = bytearray(codec.dumps(BitArray.from_indices(64, [1, 2, 3])))
+    frame[5] = 200
+    with pytest.raises(CodecError, match="type tag"):
+        codec.loads(_recrc(bytes(frame)))
+
+
+def test_rejects_truncated_frames():
+    frame = codec.dumps(HABF.build([f"k{i}" for i in range(50)], bits_per_key=10.0))
+    for cut in (0, 3, len(frame) // 2, len(frame) - 1):
+        with pytest.raises(CodecError):
+            codec.loads(frame[:cut])
+
+
+@pytest.mark.parametrize("offset_fraction", [0.1, 0.3, 0.5, 0.7, 0.9])
+def test_rejects_flipped_payload_bytes(offset_fraction):
+    frame = bytearray(codec.dumps(HABF.build([f"k{i}" for i in range(50)], bits_per_key=10.0)))
+    offset = 10 + int((len(frame) - 14) * offset_fraction)
+    frame[offset] ^= 0xFF
+    with pytest.raises(CodecError, match="checksum"):
+        codec.loads(bytes(frame))
+
+
+def test_rejects_trailing_garbage():
+    frame = codec.dumps(BitArray.from_indices(64, [1, 2, 3]))
+    with pytest.raises(CodecError):
+        codec.loads(frame + b"\x00")
+
+
+def test_rejects_unsupported_objects():
+    with pytest.raises(CodecError, match="cannot serialize"):
+        codec.dumps({"not": "a filter"})
+
+
+def test_out_of_range_values_raise_codec_error_not_struct_error():
+    from repro.service.shards import ShardedFilterStore
+
+    store = ShardedFilterStore.build(["a", "b", "c"], num_shards=2, router_seed=-1)
+    assert store.query("a")  # negative seeds are fine at query time...
+    with pytest.raises(CodecError, match="does not fit"):
+        codec.dumps(store)  # ...but must fail loudly, not with struct.error
+
+
+def test_structurally_invalid_payloads_raise_codec_error():
+    # A CRC-valid Bloom frame whose selection indexes exceed the family size
+    # must be refused at load time, not explode at query time.
+    positives, _, _ = _dataset(2)
+    bloom = BloomFilter(num_bits=512, num_hashes=3)
+    bloom.add_all(positives[:50])
+    frame = bytearray(codec.dumps(bloom))
+    # Selection entries are the three u16s immediately after the family
+    # descriptor (1 byte) and the u16 count; locate them via the known layout:
+    # header(10) + num_bits(8) + num_hashes(2) + num_items(8) + family(1) + count(2).
+    offset = 10 + 8 + 2 + 8 + 1 + 2
+    frame[offset : offset + 2] = (999).to_bytes(2, "big")
+    with pytest.raises(CodecError, match="selection index"):
+        codec.loads(_recrc(bytes(frame)))
