@@ -37,7 +37,7 @@ from repro.errors import (
 )
 from repro.hashing import GLOBAL_HASH_FAMILY, HashFamily, build_family
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "HABF",

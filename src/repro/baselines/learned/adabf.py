@@ -19,13 +19,14 @@ from typing import List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.baselines.learned.model import KeyScoreModel
+from repro.core.batch import BatchMembership
 from repro.core.bloom import BloomFilter, optimal_num_hashes
 from repro.errors import ConfigurationError, ConstructionError
 from repro.hashing.base import Key
 from repro.hashing.double_hashing import DoubleHashFamily
 
 
-class AdaptiveLearnedBloomFilter:
+class AdaptiveLearnedBloomFilter(BatchMembership):
     """Score-bucketed Bloom filter with per-group hash counts.
 
     Args:
@@ -137,6 +138,26 @@ class AdaptiveLearnedBloomFilter:
 
     def __contains__(self, key: Key) -> bool:
         return self.contains(key)
+
+    def _contains_batch(self, batch):
+        """Batch form of :meth:`contains`: score, bucket, grouped probes.
+
+        Scores land in groups via one ``searchsorted`` (the thresholds are
+        ascending quantiles, so "count of thresholds ≤ score" equals the
+        scalar walk), then each group's keys share one vectorized Bloom probe
+        under that group's prefix selection.
+        """
+        if not self._built or self._bloom is None:
+            raise ConstructionError("AdaptiveLearnedBloomFilter.build must be called first")
+        scores = self._model.scores(batch.keys)
+        groups = np.searchsorted(np.asarray(self._thresholds), scores, side="right")
+        groups = np.minimum(groups, self._num_groups - 1)
+        answers = np.zeros(len(batch), dtype=bool)
+        for group in np.unique(groups):
+            members = np.flatnonzero(groups == group)
+            selection = list(range(self._group_hashes[int(group)]))
+            answers[members] = self._bloom._probe_batch(batch.take(members), selection)
+        return answers
 
     @property
     def model(self) -> KeyScoreModel:

@@ -19,6 +19,7 @@ from typing import Iterable, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.baselines.learned.model import KeyScoreModel
+from repro.core.batch import BatchMembership
 from repro.core.bloom import BloomFilter, optimal_num_hashes
 from repro.errors import ConfigurationError, ConstructionError
 from repro.hashing.base import Key
@@ -39,7 +40,7 @@ def _backup_fpr_estimate(num_keys: int, num_bits: int) -> float:
     return (1.0 - np.exp(-k * num_keys / num_bits)) ** k
 
 
-class LearnedBloomFilter:
+class LearnedBloomFilter(BatchMembership):
     """Classifier + backup Bloom filter under a shared space budget.
 
     Args:
@@ -157,6 +158,22 @@ class LearnedBloomFilter:
 
     def __contains__(self, key: Key) -> bool:
         return self.contains(key)
+
+    def _contains_batch(self, batch):
+        """Batch form of :meth:`contains`: one model pass, one backup probe.
+
+        The classifier already scores whole batches in numpy; the engine adds
+        the vectorized backup-Bloom round over just the below-threshold keys.
+        """
+        if not self._built:
+            raise ConstructionError("LearnedBloomFilter.build must be called first")
+        answers = self._model.scores(batch.keys) >= self._threshold
+        if self._backup is None:
+            return answers
+        below = np.flatnonzero(~answers)
+        if below.size:
+            answers[below] = self._backup._contains_batch(batch.take(below))
+        return answers
 
     @property
     def threshold(self) -> float:

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.baselines.learned.lbf import _backup_fpr_estimate
 from repro.baselines.learned.model import KeyScoreModel
+from repro.core.batch import BatchMembership
 from repro.core.bloom import BloomFilter, optimal_num_hashes
 from repro.errors import ConfigurationError, ConstructionError
 from repro.hashing.base import Key
@@ -29,7 +30,7 @@ _THRESHOLD_QUANTILES = (0.5, 0.7, 0.8, 0.9, 0.95, 0.99)
 _INITIAL_FRACTIONS = (0.3, 0.5, 0.7)
 
 
-class SandwichedLearnedBloomFilter:
+class SandwichedLearnedBloomFilter(BatchMembership):
     """Initial Bloom filter + classifier + backup Bloom filter.
 
     Args:
@@ -139,6 +140,32 @@ class SandwichedLearnedBloomFilter:
 
     def __contains__(self, key: Key) -> bool:
         return self.contains(key)
+
+    def _contains_batch(self, batch):
+        """Batch form of :meth:`contains`: initial filter, model, backup.
+
+        Each stage only processes the keys still undecided by the previous
+        one, so a batch pays the (comparatively expensive) model scoring only
+        for keys that survive the initial vectorized Bloom round.
+        """
+        if not self._built:
+            raise ConstructionError("SandwichedLearnedBloomFilter.build must be called first")
+        answers = np.zeros(len(batch), dtype=bool)
+        if self._initial is not None:
+            passed = np.flatnonzero(self._initial._contains_batch(batch))
+            if not passed.size:
+                return answers
+            survivors = batch.take(passed)
+        else:
+            passed = np.arange(len(batch))
+            survivors = batch
+        accepted = self._model.scores(survivors.keys) >= self._threshold
+        answers[passed] = accepted
+        if self._backup is not None:
+            below = np.flatnonzero(~accepted)
+            if below.size:
+                answers[passed[below]] = self._backup._contains_batch(survivors.take(below))
+        return answers
 
     @property
     def threshold(self) -> float:

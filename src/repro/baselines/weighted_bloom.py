@@ -25,16 +25,18 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
+from repro.core.batch import BatchMembership
 from repro.core.bitarray import BitArray
 from repro.core.bloom import optimal_num_hashes
 from repro.errors import ConfigurationError
+from repro.hashing import vectorized as vec
 from repro.hashing.base import Key, mix64, normalize_key
 from repro.hashing.primitives import xxhash
 
 _MASK64 = (1 << 64) - 1
 
 
-class WeightedBloomFilter:
+class WeightedBloomFilter(BatchMembership):
     """Cost-aware Bloom filter with a cached per-key hash count.
 
     Args:
@@ -170,6 +172,29 @@ class WeightedBloomFilter:
         """Membership test using the key's cached hash count (default otherwise)."""
         count = self._hashes_for(key)
         return all(self._bits.test(position) for position in self._positions(key, count))
+
+    def _contains_batch(self, batch):
+        """Batch form of :meth:`contains`.
+
+        The double-hashed probe sequence is shared: one vectorized base/step
+        pass covers every key, and probe round ``i`` only tests the keys
+        whose (cached or default) hash count exceeds ``i``.
+        """
+        np = vec.numpy_or_none()
+        counts = np.fromiter(
+            (self._hashes_for(key) for key in batch.keys),
+            dtype=np.int64,
+            count=len(batch),
+        )
+        base = vec.hash_batch(xxhash, batch)
+        step = vec.mix64(base ^ np.uint64(0xA076_1D64_78BD_642F)) | np.uint64(1)
+        modulus = np.uint64(len(self._bits))
+        answers = np.ones(len(batch), dtype=bool)
+        for probe in range(int(counts.max()) if len(batch) else 0):
+            active = counts > probe
+            positions = (base + np.uint64(probe) * step) % modulus
+            answers &= ~active | self._bits.test_many(positions)
+        return answers
 
     def __contains__(self, key: Key) -> bool:
         return self.contains(key)

@@ -15,9 +15,11 @@ competes under the same space budget as every other method.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro.core.batch import BatchMembership
 from repro.errors import CapacityError, ConfigurationError
+from repro.hashing import vectorized as vec
 from repro.hashing.base import Key, mix64, normalize_key
 from repro.hashing.primitives import xxhash
 
@@ -31,7 +33,7 @@ def fingerprint_bits_for_budget(bits_per_key: float, num_keys: int) -> int:
     return max(1, int(bits_per_key / 1.23 + 32 / num_keys))
 
 
-class XorFilter:
+class XorFilter(BatchMembership):
     """A static Xor filter over a fixed key set.
 
     Args:
@@ -146,13 +148,28 @@ class XorFilter:
     def __contains__(self, key: Key) -> bool:
         return self.contains(key)
 
-    def contains_many(self, keys: Iterable[Key]) -> List[bool]:
-        """Vector form of :meth:`contains`, in input order.
+    #: Lazily-built numpy copy of ``_slots`` (class default so codec-decoded
+    #: instances, which bypass ``__init__``, start unbuilt too).
+    _slots_array = None
 
-        Mirrors :meth:`repro.core.habf.HABF.contains_many` so batch callers
-        (the sharded membership service) can treat every backend uniformly.
-        """
-        return [self.contains(key) for key in keys]
+    def _contains_batch(self, batch):
+        """Batch form of :meth:`contains`: slots and fingerprints in one pass."""
+        np = vec.numpy_or_none()
+        golden = 0x9E3779B97F4A7C15
+        base = vec.hash_batch(xxhash, batch)
+        value = vec.mix64(base ^ np.uint64((self._seed * golden) & ((1 << 64) - 1)))
+        segment = np.uint64(self._segment_length)
+        h0 = value % segment
+        h1 = segment + vec.mix64(value ^ np.uint64(0x1234567)) % segment
+        h2 = np.uint64(2) * segment + vec.mix64(value ^ np.uint64(0x89ABCDE)) % segment
+        fp_seed = ((self._seed ^ 0x5F5F5F5F) * golden) & ((1 << 64) - 1)
+        fingerprint = vec.mix64(base ^ np.uint64(fp_seed)) & np.uint64(self._fingerprint_mask)
+        fingerprint = np.where(fingerprint == 0, np.uint64(1), fingerprint)
+        if self._slots_array is None:
+            self._slots_array = np.asarray(self._slots, dtype=np.uint64)
+        slots = self._slots_array
+        idx = np.stack([h0, h1, h2]).astype(np.int64)
+        return (slots[idx[0]] ^ slots[idx[1]] ^ slots[idx[2]]) == fingerprint
 
     @property
     def fingerprint_bits(self) -> int:

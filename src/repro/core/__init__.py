@@ -12,8 +12,13 @@ This subpackage contains the paper's primary contribution:
   algorithm (Section III-D, Algorithm 1, Figs. 3–7).
 * :class:`~repro.core.habf.HABF` — the full filter with the two-round query
   (Fig. 1, Section III-E) and its fast variant :class:`~repro.core.habf.FastHABF`.
+* :class:`~repro.core.batch.BatchMembership` — the batch-membership engine
+  mixin every filter shares: ``contains_many`` as one array program over a
+  :class:`~repro.hashing.vectorized.KeyBatch`, with a scalar fallback when
+  numpy is absent.
 """
 
+from repro.core.batch import BatchMembership
 from repro.core.bitarray import BitArray
 from repro.core.bloom import BloomFilter, optimal_num_hashes
 from repro.core.habf import HABF, FastHABF
@@ -22,6 +27,7 @@ from repro.core.params import HABFParams
 from repro.core.tpjo import TPJOOptimizer, TPJOStats
 
 __all__ = [
+    "BatchMembership",
     "BitArray",
     "BloomFilter",
     "optimal_num_hashes",

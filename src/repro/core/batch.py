@@ -1,0 +1,171 @@
+"""The shared batch-membership engine interface.
+
+Every filter in the library mixes in :class:`BatchMembership`, which defines
+the public batch query ``contains_many(keys) -> List[bool]`` once: encode the
+keys into one :class:`~repro.hashing.vectorized.KeyBatch`, hand it to the
+filter's ``_contains_batch`` array program, and fall back to the scalar
+``contains`` loop when numpy is absent (or the filter has no batch path).
+The membership hot path thereby stops being "a loop over ``contains``" and
+becomes one array program per filter, while the scalar semantics stay the
+single source of truth — the engine must agree with them bit for bit (pinned
+by ``tests/core/test_batch_equivalence.py``).
+
+The module also hosts the two position kernels shared by the Bloom-probing
+filters:
+
+* :func:`positions_for_selection` — one *fixed* hash selection applied to a
+  whole batch (Bloom round 1, H0);
+* :func:`positions_for_matrix` — a *per-key* selection matrix, as decoded
+  from the HashExpressor (Bloom round 2).  For a
+  :class:`~repro.hashing.double_hashing.DoubleHashFamily` this collapses to
+  one vectorized multiply-add off the shared h1/h2 base pass; for a table
+  family the keys are grouped by selected function so each primitive runs
+  once per distinct index, not once per key.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.hashing import vectorized as vec
+from repro.hashing.base import Key
+from repro.hashing.double_hashing import DoubleHashFamily
+
+
+class BatchMembership:
+    """Mixin providing the engine-backed ``contains_many``.
+
+    Subclasses override :meth:`_contains_batch` with an array program over a
+    :class:`~repro.hashing.vectorized.KeyBatch`; the mixin handles encoding,
+    the numpy gate and the scalar fallback.  Filters that cannot vectorize
+    simply inherit the fallback loop, so every filter in the library exposes
+    the same batch interface.
+    """
+
+    def contains_many(self, keys: Iterable[Key]) -> List[bool]:
+        """Vector form of ``contains``, in input order."""
+        keys = list(keys)
+        np = vec.numpy_or_none()
+        if np is not None and keys:
+            answers = self._contains_batch(vec.KeyBatch(keys))
+            if answers is not None:
+                return answers.tolist()
+        return self._contains_fallback(keys)
+
+    def _contains_fallback(self, keys: List[Key]) -> List[bool]:
+        """Scalar batch path used when numpy (or a batch program) is absent.
+
+        Filters whose scalar query re-resolves state per call can override
+        this to hoist that dispatch out of the loop (see ``BloomFilter``).
+        """
+        return [self.contains(key) for key in keys]
+
+    def _contains_batch(self, batch: "vec.KeyBatch"):
+        """Answer a whole encoded batch; return a bool ndarray or ``None``.
+
+        ``None`` means "no batch path for this filter" and routes the call to
+        the scalar fallback.  Only invoked when numpy is available.
+        """
+        return None
+
+
+def positions_for_selection(family, batch: "vec.KeyBatch", selection: Sequence[int], modulus: int):
+    """Bit positions of every key under one fixed hash selection.
+
+    Returns a ``(len(selection), len(batch))`` array; row ``i`` holds the
+    positions of all keys under ``family[selection[i]]`` reduced modulo
+    ``modulus``.  Family-level ``hash_many`` deduplicates the underlying
+    work (one primitive pass per selected function; one shared base pass for
+    double hashing).
+    """
+    return family.hash_many(batch, indexes=list(selection), modulus=modulus)
+
+
+#: Batches at or below this size always take the memoised whole-batch pass:
+#: a vectorized pass over so few keys is dominated by fixed numpy overhead,
+#: so the reuse across engine stages is free.
+_MEMO_BATCH_LIMIT = 1024
+
+#: For larger batches, a group only takes the whole-batch pass when it covers
+#: at least this fraction of the batch (the extra rows are nearly free and
+#: later stages reuse the memo); smaller groups hash just their own rows.
+_MEMO_GROUP_FRACTION = 0.6
+
+
+def _positions_for_group(family, batch, family_index: int, group_rows, modulus: int):
+    """Positions of the keys at ``group_rows`` under one family member.
+
+    The HashExpressor chain walk and the HABF second round touch the same few
+    family indexes repeatedly, so whole-batch passes memoised on the batch
+    amortise well — but only when the group is a sizeable share of the batch
+    (or the batch is small enough that a pass costs fixed overhead anyway).
+    Otherwise hashing the group's own rows is strictly less work; ``take``
+    slices numpy state only, so the subset costs no Python-level per-row
+    effort.
+    """
+    np = vec.numpy_or_none()
+    cache_key = ("family-index-positions", id(family), family_index, modulus)
+    full = batch.cache.get(cache_key)
+    if full is not None:
+        return full[group_rows]
+    total = len(batch)
+    if total > _MEMO_BATCH_LIMIT and group_rows.size < _MEMO_GROUP_FRACTION * total:
+        return np.asarray(
+            family[family_index].hash_many(batch.take(group_rows), modulus)
+        )
+    full = family[family_index].hash_many(batch, modulus)
+    batch.cache[cache_key] = full
+    return full[group_rows]
+
+
+def positions_for_matrix(family, batch: "vec.KeyBatch", selection_matrix, modulus: int, rows=None):
+    """Bit positions under a per-key selection matrix.
+
+    ``selection_matrix`` is ``(m, k)`` of family indexes — row ``i`` is the
+    customised selection (as recovered from the HashExpressor) of the key at
+    batch row ``rows[i]`` (``rows=None`` means rows ``0..m-1``, i.e. the
+    whole batch).  Returns positions of the same shape.  Passing ``rows``
+    instead of a ``batch.take`` sub-batch keeps the per-index hash memo on
+    the *parent* batch, so the chain walk and the second-round probe share
+    one vectorized pass per family index.
+    """
+    np = vec.numpy_or_none()
+    selection_matrix = np.asarray(selection_matrix, dtype=np.int64)
+    if rows is None:
+        rows = np.arange(selection_matrix.shape[0])
+    if isinstance(family, DoubleHashFamily):
+        h1, h2 = family.base_hashes_many(batch)
+        h1, odd = h1[rows], (h2 | np.uint64(1))[rows]
+        steps = (selection_matrix + 1).astype(np.uint64)
+        return (h1[:, None] + steps * odd[:, None]) % np.uint64(modulus)
+    positions = np.zeros(selection_matrix.shape, dtype=np.uint64)
+    for column in range(selection_matrix.shape[1]):
+        indexes = selection_matrix[:, column]
+        for family_index in np.unique(indexes):
+            members = np.flatnonzero(indexes == family_index)
+            positions[members, column] = _positions_for_group(
+                family, batch, int(family_index), rows[members], modulus
+            )
+    return positions
+
+
+def hash_for_index_vector(family, batch: "vec.KeyBatch", indexes, modulus: int, rows=None):
+    """One hash per entry where entry ``i`` uses ``family[indexes[i]]``.
+
+    The single-column case of :func:`positions_for_matrix`; used by the
+    HashExpressor chain walk, where each step's next cell is addressed by the
+    hash function stored in the current cell.  ``rows`` maps the entries onto
+    batch rows, letting the walk hash only the chains still alive.
+    """
+    np = vec.numpy_or_none()
+    return positions_for_matrix(
+        family, batch, np.asarray(indexes, dtype=np.int64)[:, None], modulus, rows=rows
+    )[:, 0]
+
+
+__all__ = [
+    "BatchMembership",
+    "positions_for_selection",
+    "positions_for_matrix",
+    "hash_for_index_vector",
+]

@@ -1,9 +1,14 @@
 """A compact bit vector backed by a ``bytearray``.
 
 Every filter in this package stores its membership bits in a :class:`BitArray`.
-The implementation favours clarity and exact space accounting over raw speed:
-the reproduction's timing experiments compare methods against each other, all
-of which share this same substrate.
+The implementation favours clarity and exact space accounting over raw speed
+on the scalar paths; the batch engine's :meth:`BitArray.set_many` and
+:meth:`BitArray.test_many` additionally expose the same ``bytearray`` as a
+writable numpy view, so whole index vectors are set and tested as one array
+program.  Because the numpy view aliases the *same* buffer, serialization
+(:meth:`BitArray.to_bytes` and the :mod:`repro.service.codec` frames built on
+it) is byte-identical whichever path populated the bits, and a pure-Python
+fallback keeps every batch entry point working when numpy is absent.
 """
 
 from __future__ import annotations
@@ -11,6 +16,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from repro.errors import ConfigurationError
+from repro.hashing import vectorized as _vec
 
 _POPCOUNT_TABLE = bytes(bin(i).count("1") for i in range(256))
 
@@ -80,6 +86,53 @@ class BitArray:
     def test_all(self, indices: Iterable[int]) -> bool:
         """Return ``True`` only if every bit listed in ``indices`` is 1."""
         return all(self.test(index) for index in indices)
+
+    # ------------------------------------------------------------------ #
+    # Batch engine
+    # ------------------------------------------------------------------ #
+    def _checked_index_vector(self, np, indices):
+        index = np.asarray(indices, dtype=np.int64).ravel()
+        if index.size:
+            index = np.where(index < 0, index + self._num_bits, index)
+            bad = (index < 0) | (index >= self._num_bits)
+            if bad.any():
+                offender = int(np.asarray(indices, dtype=np.int64).ravel()[np.flatnonzero(bad)[0]])
+                raise IndexError(
+                    f"bit index {offender} out of range for {self._num_bits} bits"
+                )
+        return index
+
+    def set_many(self, indices) -> None:
+        """Set every bit listed in ``indices`` (vectorized when numpy exists).
+
+        Accepts any integer sequence or ndarray, with the same negative-index
+        wrapping and bounds checking as :meth:`set`.  Duplicate indices are
+        fine (``bitwise_or.at`` accumulates per byte).
+        """
+        np = _vec.numpy_or_none()
+        if np is None:
+            self.set_all(int(index) for index in indices)
+            return
+        index = self._checked_index_vector(np, indices)
+        if not index.size:
+            return
+        view = np.frombuffer(self._buffer, dtype=np.uint8)
+        np.bitwise_or.at(
+            view, index >> 3, np.uint8(1) << (index & 7).astype(np.uint8)
+        )
+
+    def test_many(self, indices):
+        """Test every bit listed in ``indices``, in order.
+
+        Returns a bool ndarray when numpy is available and a plain list of
+        bools otherwise; index semantics match :meth:`test`.
+        """
+        np = _vec.numpy_or_none()
+        if np is None:
+            return [self.test(int(index)) for index in indices]
+        index = self._checked_index_vector(np, indices)
+        view = np.frombuffer(self._buffer, dtype=np.uint8)
+        return (view[index >> 3] >> (index & 7).astype(np.uint8)) & 1 != 0
 
     def count(self) -> int:
         """Return the number of bits set to 1 (popcount)."""

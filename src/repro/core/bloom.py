@@ -17,6 +17,7 @@ from __future__ import annotations
 import math
 from typing import Iterable, List, Optional, Sequence, Union
 
+from repro.core.batch import BatchMembership, positions_for_matrix, positions_for_selection
 from repro.core.bitarray import BitArray
 from repro.errors import ConfigurationError
 from repro.hashing.base import Key
@@ -33,7 +34,7 @@ def optimal_num_hashes(bits_per_key: float) -> int:
     return max(1, int(round(math.log(2) * bits_per_key)))
 
 
-class BloomFilter:
+class BloomFilter(BatchMembership):
     """A standard Bloom filter over a configurable hash family.
 
     Args:
@@ -171,15 +172,62 @@ class BloomFilter:
     def __contains__(self, key: Key) -> bool:
         return self.contains(key)
 
-    def contains_many(self, keys: Iterable[Key]) -> List[bool]:
-        """Vector form of :meth:`contains`, in input order.
+    def _probe_batch(self, batch, selection: Sequence[int]):
+        """Engine round: test a whole batch under one fixed selection.
 
-        Mirrors :meth:`repro.core.habf.HABF.contains_many` so batch callers
-        (the sharded membership service) can treat every backend uniformly.
-        Hash functions and the bit-test are resolved once per batch instead
-        of once per key, which is where the scalar path spends its dispatch
-        overhead.
+        For a table family the probe short-circuits row by row: keys that
+        miss hash ``i`` are dropped from the batch before hash ``i+1`` runs,
+        so a mixed workload pays roughly ``1/(1-fill)`` hash rows instead of
+        ``k``.  Double-hashing families skip the short-circuit — their ``k``
+        rows all derive from one memoised base pass, so dropping rows saves
+        almost nothing and would re-slice the batch per row.
         """
+        from repro.hashing import vectorized as vec
+
+        np = vec.numpy_or_none()
+        if isinstance(self._family, DoubleHashFamily):
+            positions = positions_for_selection(
+                self._family, batch, selection, len(self._bits)
+            )
+            tested = self._bits.test_many(positions.reshape(-1))
+            return tested.reshape(positions.shape).all(axis=0)
+        modulus = len(self._bits)
+        answers = np.ones(len(batch), dtype=bool)
+        alive = None  # None means "all rows", avoiding an initial take()
+        for index in selection:
+            sub = batch if alive is None else batch.take(alive)
+            positions = self._family[index].hash_many(sub, modulus)
+            hits = self._bits.test_many(positions)
+            if alive is None:
+                answers &= hits
+                alive = np.flatnonzero(hits)
+            else:
+                answers[alive[~hits]] = False
+                alive = alive[hits]
+            if not alive.size:
+                break
+        return answers
+
+    def _probe_matrix(self, batch, selection_matrix, rows=None):
+        """Engine round: test a batch under per-key selections (HABF round 2).
+
+        ``rows`` maps the selection-matrix rows onto batch rows (see
+        :func:`repro.core.batch.positions_for_matrix`).
+        """
+        positions = positions_for_matrix(
+            self._family, batch, selection_matrix, len(self._bits), rows=rows
+        )
+        tested = self._bits.test_many(positions.reshape(-1))
+        return tested.reshape(positions.shape).all(axis=1)
+
+    def _contains_batch(self, batch):
+        """Batch form of :meth:`contains`: one H0 array probe."""
+        return self._probe_batch(batch, self._initial_selection)
+
+    def _contains_fallback(self, keys):
+        """numpy-less batch path: hash functions and the bit test are
+        resolved once per batch instead of once per key, which is where the
+        scalar loop spends its dispatch overhead."""
         functions = [self._family[i] for i in self._initial_selection]
         test = self._bits.test
         modulus = len(self._bits)

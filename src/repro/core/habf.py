@@ -21,8 +21,9 @@ query speed by using Kirsch–Mitzenmacher double hashing and disabling the
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Mapping, Optional, Sequence, Union
 
+from repro.core.batch import BatchMembership
 from repro.core.bloom import BloomFilter
 from repro.core.hash_expressor import HashExpressor
 from repro.core.params import HABFParams
@@ -35,7 +36,7 @@ from repro.hashing.registry import GLOBAL_HASH_FAMILY, HashFamily
 FamilyLike = Union[HashFamily, DoubleHashFamily]
 
 
-class HABF:
+class HABF(BatchMembership):
     """Hash Adaptive Bloom Filter (paper Sections III-C through III-E).
 
     The usual way to obtain one is :meth:`HABF.build`, which runs the full
@@ -172,27 +173,35 @@ class HABF:
     def __contains__(self, key: Key) -> bool:
         return self.contains(key)
 
-    def contains_many(self, keys: Iterable[Key]) -> List[bool]:
-        """Vector form of :meth:`contains`, in input order.
+    def _contains_batch(self, batch):
+        """Batch form of the two-round query.
 
-        Runs the first round as one Bloom batch (cheap, dispatch hoisted) and
-        only sends the first-round misses through the HashExpressor second
-        round, so held-in keys — the common case for a serving workload —
-        never pay the expressor walk.
+        Round 1 is one vectorized H0 Bloom probe over the whole batch.  Only
+        the first-round misses (typically the negatives) enter round 2: one
+        lock-step HashExpressor chain walk recovers their customised
+        selections, and the keys with a valid selection get a second
+        vectorized Bloom probe under the decoded per-key selection matrix.
         """
-        keys = list(keys)
-        answers = self._bloom.contains_many(keys)
+        from repro.hashing import vectorized as vec
+
+        np = vec.numpy_or_none()
+        answers = self._bloom._contains_batch(batch)
         expressor = self._expressor
         if expressor is None:
             return answers
-        k = self._params.k
-        query = expressor.query
-        second_round = self._bloom.contains_with_selection
-        for index, hit in enumerate(answers):
-            if not hit:
-                selection = query(keys[index], k)
-                if selection is not None:
-                    answers[index] = second_round(keys[index], selection)
+        missed = np.flatnonzero(~answers)
+        if not missed.size:
+            return answers
+        misses = batch.take(missed)
+        selections, valid = expressor.query_many_batch(misses, self._params.k)
+        recovered = np.flatnonzero(valid)
+        if not recovered.size:
+            return answers
+        # Round 2 probes on the same `misses` batch object (rows=recovered)
+        # so it reuses the per-family-index hashes the chain walk memoised.
+        answers[missed[recovered]] = self._bloom._probe_matrix(
+            misses, selections[recovered], rows=recovered
+        )
         return answers
 
     # ------------------------------------------------------------------ #

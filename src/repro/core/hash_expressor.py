@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.hashing import vectorized as vec
 from repro.hashing.base import HashFunction, Key
 from repro.hashing.primitives import xxhash
 from repro.hashing.registry import HashFamily
@@ -251,6 +252,49 @@ class HashExpressor:
             # A chain that revisits a hash cannot belong to an inserted key.
             return None
         return selection
+
+    def query_many_batch(self, batch: "vec.KeyBatch", k: int):
+        """Vector form of :meth:`query` over an encoded batch.
+
+        Walks all chains in lock-step: one iteration per chain position, each
+        doing whole-batch array reads of the cell table plus one grouped hash
+        pass for the next-cell addresses.  Returns ``(selections, valid)``
+        where ``selections`` is an ``(n, k)`` int64 matrix and ``valid`` a
+        bool vector — row ``r`` is meaningful only where ``valid[r]`` is
+        True; everywhere else the key falls back to ``H0`` (the scalar
+        ``None``).  Requires numpy (callers gate on the engine).
+        """
+        if k < 1:
+            raise ConfigurationError("k must be at least 1")
+        from repro.core.batch import hash_for_index_vector
+
+        np = vec.numpy_or_none()
+        n = len(batch)
+        hash_index = np.asarray(self._hash_index, dtype=np.int64)
+        cell = np.asarray(
+            _UNIFIED_HASH.hash_many(batch, self._num_cells), dtype=np.int64
+        )
+        alive = np.ones(n, dtype=bool)
+        selections = np.zeros((n, k), dtype=np.int64)
+        for step in range(k):
+            stored = hash_index[cell]
+            alive &= stored != 0
+            family_index = np.maximum(stored - 1, 0)
+            selections[:, step] = family_index
+            if step + 1 < k:
+                live = np.flatnonzero(alive)
+                if not live.size:
+                    break
+                # Only the chains still alive need their next cell hashed.
+                cell[live] = hash_for_index_vector(
+                    self._family, batch, family_index[live], self._num_cells, rows=live
+                ).astype(np.int64)
+        valid = alive & np.asarray(self._endbit, dtype=bool)[cell]
+        if k > 1:
+            ordered = np.sort(selections, axis=1)
+            # A chain that revisits a hash cannot belong to an inserted key.
+            valid &= ~(ordered[:, 1:] == ordered[:, :-1]).any(axis=1)
+        return selections, valid
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         stats = self.stats()

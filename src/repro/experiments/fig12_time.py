@@ -21,7 +21,7 @@ from repro.experiments.config import (
 )
 from repro.experiments.registry import build_filter
 from repro.experiments.report import ExperimentResult, Row
-from repro.metrics.timing import time_construction, time_queries
+from repro.metrics.timing import time_construction, time_queries, time_queries_batch
 from repro.workloads.dataset import MembershipDataset
 
 #: Algorithms timed by the paper's Fig. 12 (GPU variants excluded: no GPU here).
@@ -45,6 +45,7 @@ def _time_dataset(
     paper_positives: int,
     algorithms: Sequence[str],
     config: ExperimentConfig,
+    batch_mode: bool = False,
 ) -> List[Row]:
     bits_per_key = mb_to_bits_per_key(space_mb, paper_positives)
     total_bits = int(round(bits_per_key * dataset.num_positives))
@@ -62,30 +63,55 @@ def _time_dataset(
             num_keys=dataset.num_positives,
         )
         query = time_queries(built, query_keys)
-        rows.append(
-            {
-                "dataset": dataset.name,
-                "space_mb": space_mb,
-                "algorithm": algorithm,
-                "construction_ns_per_key": construction.ns_per_key,
-                "query_ns_per_key": query.ns_per_key,
-            }
-        )
+        row: Row = {
+            "dataset": dataset.name,
+            "space_mb": space_mb,
+            "algorithm": algorithm,
+            "construction_ns_per_key": construction.ns_per_key,
+            "query_ns_per_key": query.ns_per_key,
+        }
+        if batch_mode:
+            batch_query = time_queries_batch(built, query_keys)
+            row["query_batch_ns_per_key"] = batch_query.ns_per_key
+            row["batch_speedup"] = (
+                query.ns_per_key / batch_query.ns_per_key
+                if batch_query.ns_per_key > 0
+                else 0.0
+            )
+        rows.append(row)
     return rows
 
 
-def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
-    """Regenerate all four panels of Fig. 12."""
+def run(
+    config: Optional[ExperimentConfig] = None, batch_mode: bool = False
+) -> ExperimentResult:
+    """Regenerate all four panels of Fig. 12.
+
+    With ``batch_mode`` every algorithm is additionally timed through the
+    batch engine (``contains_many`` over the same query keys), adding
+    ``query_batch_ns_per_key`` and ``batch_speedup`` columns — the measured
+    form of the engine speedups recorded in ``BENCH_batch_engine.json``.
+    """
     config = config or ExperimentConfig()
     rows: List[Row] = []
     rows.extend(
         _time_dataset(
-            config.shalla_dataset(), SHALLA_SPACE_MB, PAPER_SHALLA_POSITIVES, TIMED_ALGORITHMS, config
+            config.shalla_dataset(),
+            SHALLA_SPACE_MB,
+            PAPER_SHALLA_POSITIVES,
+            TIMED_ALGORITHMS,
+            config,
+            batch_mode=batch_mode,
         )
     )
     rows.extend(
         _time_dataset(
-            config.ycsb_dataset(), YCSB_SPACE_MB, PAPER_YCSB_POSITIVES, TIMED_ALGORITHMS, config
+            config.ycsb_dataset(),
+            YCSB_SPACE_MB,
+            PAPER_YCSB_POSITIVES,
+            TIMED_ALGORITHMS,
+            config,
+            batch_mode=batch_mode,
         )
     )
     return ExperimentResult(
@@ -96,7 +122,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
-    result = run()
+    result = run(batch_mode=True)
     print(result.title)
     print(result.to_table())
 

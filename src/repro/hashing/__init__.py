@@ -18,9 +18,14 @@ Public API
 ``double_hashing_family``
     Kirsch–Mitzenmacher simulated hash family used by f-HABF and BF(City64)/
     BF(XXH128)-style configurations.
+``KeyBatch``
+    One-shot batch encoding of keys for the vectorized engine; every
+    ``hash_many`` / ``contains_many`` path shares it (see
+    :mod:`repro.hashing.vectorized`).
 """
 
 from repro.hashing.base import HashFunction, normalize_key
+from repro.hashing.vectorized import BATCH_PRIMITIVES, KeyBatch
 from repro.hashing.double_hashing import DoubleHashFamily, double_hashing_family
 from repro.hashing.registry import (
     GLOBAL_HASH_FAMILY,
@@ -32,6 +37,8 @@ from repro.hashing.registry import (
 )
 
 __all__ = [
+    "BATCH_PRIMITIVES",
+    "KeyBatch",
     "HashFunction",
     "HashFamily",
     "DoubleHashFamily",

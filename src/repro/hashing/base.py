@@ -15,11 +15,18 @@ and deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Union
+from typing import Callable, Sequence, Union
 
 Key = Union[str, bytes, int]
 
 _MASK64 = (1 << 64) - 1
+
+
+def _vectorized():
+    # Imported lazily: vectorized.py itself imports normalize_key from here.
+    from repro.hashing import vectorized
+
+    return vectorized
 
 
 def normalize_key(key: Key) -> bytes:
@@ -82,6 +89,38 @@ class HashFunction:
         if modulus <= 0:
             raise ValueError("modulus must be positive")
         return self.raw(key) % modulus
+
+    def hash_many(self, keys: Sequence[Key], modulus: int = 0):
+        """Vector form of :meth:`raw` / :meth:`__call__` over a whole batch.
+
+        With numpy available this encodes the keys once (or reuses an already
+        encoded :class:`~repro.hashing.vectorized.KeyBatch`), evaluates the
+        primitive's vectorized twin column-wise and returns a ``uint64``
+        ndarray; without numpy it falls back to the scalar loop and returns a
+        plain list.  ``modulus`` of 0 means "no reduction" (full 64-bit
+        hashes); a positive modulus reduces every hash into ``[0, modulus)``
+        exactly like :meth:`__call__`.
+        """
+        if modulus < 0:
+            raise ValueError("modulus must be positive (or 0 for no reduction)")
+        vec = _vectorized()
+        np = vec.numpy_or_none()
+        if np is None:
+            if modulus:
+                return [self(key, modulus) for key in keys]
+            return [self.raw(key) for key in keys]
+        batch = vec.as_batch(keys)
+        cache_key = ("hashfn", id(self))
+        values = batch.cache.get(cache_key)
+        if values is None:
+            values = vec.hash_batch(self.primitive, batch)
+            if self.seed:
+                salt = (self.seed * 0x9E3779B97F4A7C15) & _MASK64
+                values = vec.mix64(values ^ np.uint64(salt))
+            batch.cache[cache_key] = values
+        if modulus:
+            return values % np.uint64(modulus)
+        return values
 
     def with_seed(self, seed: int) -> "HashFunction":
         """Return a copy of this function using a different seed."""

@@ -13,7 +13,7 @@ other code change.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.hashing.base import HashFunction, Key, mix64, normalize_key
@@ -31,6 +31,7 @@ class SimulatedHash:
     base1: Callable[[bytes], int]
     base2: Callable[[bytes], int]
     step: int
+    family: object = None
 
     def raw(self, key: Key) -> int:
         data = normalize_key(key)
@@ -42,6 +43,29 @@ class SimulatedHash:
         if modulus <= 0:
             raise ValueError("modulus must be positive")
         return self.raw(key) % modulus
+
+    def hash_many(self, keys, modulus: int = 0):
+        """Vector form of :meth:`raw` / :meth:`__call__` over a whole batch.
+
+        Shares one vectorized h1/h2 base pass per batch with every other
+        simulated hash of the same family (via the batch cache); falls back
+        to the scalar loop when numpy is unavailable.
+        """
+        if modulus < 0:
+            raise ValueError("modulus must be positive (or 0 for no reduction)")
+        from repro.hashing import vectorized as vec
+
+        np = vec.numpy_or_none()
+        if np is None or self.family is None:
+            if modulus:
+                return [self(key, modulus) for key in keys]
+            return [self.raw(key) for key in keys]
+        batch = vec.as_batch(keys)
+        h1, h2 = self.family.base_hashes_many(batch)
+        values = h1 + np.uint64(self.step) * (h2 | np.uint64(1))
+        if modulus:
+            return values % np.uint64(modulus)
+        return values
 
 
 class DoubleHashFamily:
@@ -84,6 +108,9 @@ class DoubleHashFamily:
         self.name = f"double[{primitive}]"
         self.primitive_name = primitive
         self.seed = seed
+        self._base = base
+        self._salt1 = salt1
+        self._salt2 = salt2
         self._functions: List[SimulatedHash] = [
             SimulatedHash(
                 name=f"{primitive}+{i}*step",
@@ -91,6 +118,7 @@ class DoubleHashFamily:
                 base1=base1,
                 base2=base2,
                 step=i + 1,
+                family=self,
             )
             for i in range(size)
         ]
@@ -114,6 +142,51 @@ class DoubleHashFamily:
 
     def names(self) -> List[str]:
         return [fn.name for fn in self._functions]
+
+    def base_hashes_many(self, batch):
+        """One vectorized base pass: ``(h1, h2)`` uint64 vectors for ``batch``.
+
+        This is the whole point of lifting Kirsch–Mitzenmacher into the batch
+        engine — every simulated function of the family derives from these
+        two vectors with one multiply-add, so a k-probe query hashes each key
+        once instead of k times.  Memoised on the batch.
+        """
+        from repro.hashing import vectorized as vec
+
+        np = vec.numpy_or_none()
+        cache_key = ("double-bases", id(self))
+        cached = batch.cache.get(cache_key)
+        if cached is None:
+            raw = vec.hash_batch(self._base, batch)
+            h1 = vec.mix64(raw ^ np.uint64(self._salt1))
+            h2 = vec.mix64(raw ^ np.uint64(self._salt2))
+            cached = (h1, h2)
+            batch.cache[cache_key] = cached
+        return cached
+
+    def hash_many(self, keys, indexes: Optional[Sequence[int]] = None, modulus: int = 0):
+        """Batch counterpart of :meth:`repro.hashing.registry.HashFamily.hash_many`.
+
+        All requested simulated functions are derived from a single h1/h2
+        base pass; returns a ``(len(indexes), len(keys))`` uint64 ndarray, or
+        per-function scalar lists when numpy is unavailable.
+        """
+        chosen = list(indexes) if indexes is not None else list(range(len(self)))
+        from repro.hashing import vectorized as vec
+
+        np = vec.numpy_or_none()
+        if np is None:
+            return [self._functions[i].hash_many(keys, modulus) for i in chosen]
+        batch = vec.as_batch(keys)
+        if not chosen:
+            return np.zeros((0, len(batch)), dtype=np.uint64)
+        h1, h2 = self.base_hashes_many(batch)
+        odd = h2 | np.uint64(1)
+        rows = []
+        for i in chosen:
+            values = h1 + np.uint64(self._functions[i].step) * odd
+            rows.append(values % np.uint64(modulus) if modulus else values)
+        return np.stack(rows)
 
 
 def double_hashing_family(size: int, primitive: str = "xxhash", seed: int = 0) -> DoubleHashFamily:

@@ -99,6 +99,26 @@ class HashFamily:
         """Return the member names in index order."""
         return [fn.name for fn in self._functions]
 
+    def hash_many(self, keys, indexes: Optional[Sequence[int]] = None, modulus: int = 0):
+        """Hash a whole batch of keys under several member functions at once.
+
+        Returns a ``(len(indexes), len(keys))`` uint64 ndarray (one row per
+        selected function) when numpy is available, with the keys encoded
+        once and shared across rows; otherwise a list of per-function lists
+        from the scalar loop.  ``indexes`` defaults to the full family and
+        ``modulus`` of 0 means full 64-bit hashes.
+        """
+        chosen = list(indexes) if indexes is not None else list(range(len(self)))
+        from repro.hashing import vectorized as vec
+
+        np = vec.numpy_or_none()
+        if np is None:
+            return [self[i].hash_many(keys, modulus) for i in chosen]
+        batch = vec.as_batch(keys)
+        if not chosen:
+            return np.zeros((0, len(batch)), dtype=np.uint64)
+        return np.stack([self[i].hash_many(batch, modulus) for i in chosen])
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"HashFamily(name={self.name!r}, size={len(self)})"
 

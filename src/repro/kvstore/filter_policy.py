@@ -8,7 +8,7 @@ for example frequently-missed keys harvested from a query log.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Protocol, Sequence
+from typing import Iterable, List, Mapping, Optional, Protocol, Sequence
 
 from repro.baselines.xor_filter import XorFilter
 from repro.core.bloom import BloomFilter, optimal_num_hashes
@@ -34,6 +34,9 @@ class AlwaysContainsFilter:
 
     def contains(self, key: Key) -> bool:
         return True
+
+    def contains_many(self, keys: Iterable[Key]) -> List[bool]:
+        return [True for _ in keys]
 
     def size_in_bits(self) -> int:
         return 0

@@ -189,6 +189,55 @@ class LSMTree:
         self.stats.misses += 1
         return None
 
+    def get_many(self, keys: Sequence[str]) -> List[Optional[object]]:
+        """Batch form of :meth:`get`, in input order.
+
+        The memtable answers first; the keys it cannot resolve then walk the
+        levels together, and every SSTable answers its whole pending group
+        with one batch filter check (:meth:`~repro.kvstore.sstable.SSTable.get_many`).
+        Results and statistics match looping :meth:`get` key by key.
+        """
+        keys = list(keys)
+        results: List[Optional[object]] = [None] * len(keys)
+        self.stats.gets += len(keys)
+        pending: List[int] = []
+        for position, key in enumerate(keys):
+            found, value = self._memtable.get(key)
+            if found:
+                if value is None:
+                    self.stats.misses += 1
+                else:
+                    self.stats.hits += 1
+                    results[position] = value
+            else:
+                pending.append(position)
+        for level_tables in self._levels:
+            for table in level_tables:
+                if not pending:
+                    return results
+                self.stats.table_lookups += len(pending)
+                rejections_before = table.stats.filter_rejections
+                answers = table.get_many([keys[position] for position in pending])
+                self.stats.filter_rejections += (
+                    table.stats.filter_rejections - rejections_before
+                )
+                still_pending: List[int] = []
+                for position, (found, value, cost) in zip(pending, answers):
+                    self.stats.io_cost += cost
+                    if not found and cost > 0.0:
+                        self.stats.wasted_io_cost += cost
+                    if found:
+                        if value is None:
+                            self.stats.misses += 1
+                        else:
+                            self.stats.hits += 1
+                            results[position] = value
+                    else:
+                        still_pending.append(position)
+                pending = still_pending
+        self.stats.misses += len(pending)
+        return results
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #

@@ -162,6 +162,10 @@ class SSTable:
             self.stats.filter_rejections += 1
             return False, None, 0.0
         self.stats.reads += 1
+        return self._read(key)
+
+    def _read(self, key: str) -> Tuple[bool, Optional[object], float]:
+        """The simulated disk read itself (cost already committed)."""
         index = bisect.bisect_left(self._keys, key)
         if index < len(self._keys) and self._keys[index] == key:
             value = self._values[index]
@@ -170,3 +174,35 @@ class SSTable:
             return True, value, self.read_cost
         self.stats.useless_reads += 1
         return False, None, self.read_cost
+
+    def get_many(self, keys: Sequence[str]) -> List[Tuple[bool, Optional[object], float]]:
+        """Batch form of :meth:`get`, in input order.
+
+        The guarding filter answers all in-range keys with **one**
+        ``contains_many`` call (the batch engine's array program when numpy
+        is available), so a multi-key read pays the filter's per-batch cost
+        once instead of per key.  Per-key results and statistics are
+        identical to looping :meth:`get`.
+        """
+        keys = list(keys)
+        results: List[Tuple[bool, Optional[object], float]] = [
+            (False, None, 0.0)
+        ] * len(keys)
+        self.stats.lookups += len(keys)
+        in_range = [
+            position for position, key in enumerate(keys) if self.key_range_contains(key)
+        ]
+        if not in_range:
+            return results
+        contains_many = getattr(self._filter, "contains_many", None)
+        if contains_many is not None:
+            flags = contains_many([keys[position] for position in in_range])
+        else:
+            flags = [self._filter.contains(keys[position]) for position in in_range]
+        for position, flag in zip(in_range, flags):
+            if not flag:
+                self.stats.filter_rejections += 1
+                continue
+            self.stats.reads += 1
+            results[position] = self._read(keys[position])
+        return results

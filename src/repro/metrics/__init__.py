@@ -17,6 +17,7 @@ from repro.metrics.timing import (
     percentile,
     time_construction,
     time_queries,
+    time_queries_batch,
 )
 
 __all__ = [
@@ -30,5 +31,6 @@ __all__ = [
     "percentile",
     "time_construction",
     "time_queries",
+    "time_queries_batch",
     "measure_construction_memory",
 ]

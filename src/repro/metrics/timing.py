@@ -134,3 +134,38 @@ def time_queries(filter_obj, keys: Sequence[Key], repeats: int = 1) -> TimingRes
             contains(key)
     elapsed = time.perf_counter() - start
     return TimingResult(total_seconds=elapsed, num_keys=len(keys) * repeats)
+
+
+def time_queries_batch(
+    filter_obj,
+    keys: Sequence[Key],
+    batch_size: int = 0,
+    repeats: int = 1,
+) -> TimingResult:
+    """Time ``filter_obj.contains_many`` over ``keys`` (optionally chunked).
+
+    The batch-engine counterpart of :func:`time_queries`: the same keys, the
+    same per-key normalisation, but answered through the filter's batch
+    interface.  ``batch_size`` of 0 sends all keys as one batch; a positive
+    value splits the workload into fixed-size chunks, which is how a serving
+    front-end would drive the engine.
+    """
+    if not keys:
+        raise ConfigurationError("keys must not be empty")
+    if repeats < 1:
+        raise ConfigurationError("repeats must be at least 1")
+    if batch_size < 0:
+        raise ConfigurationError("batch_size must be non-negative")
+    keys = list(keys)
+    chunks = (
+        [keys]
+        if batch_size == 0
+        else [keys[start : start + batch_size] for start in range(0, len(keys), batch_size)]
+    )
+    contains_many = filter_obj.contains_many
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for chunk in chunks:
+            contains_many(chunk)
+    elapsed = time.perf_counter() - start
+    return TimingResult(total_seconds=elapsed, num_keys=len(keys) * repeats)

@@ -23,6 +23,7 @@ from dataclasses import replace
 from typing import Iterable, List, Mapping, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.hashing import vectorized as vec
 from repro.hashing.base import Key, mix64, normalize_key
 from repro.hashing.primitives import xxhash
 from repro.service.backends import BackendSpec, resolve_backend
@@ -48,6 +49,10 @@ class EmptyShardFilter:
     def contains_many(self, keys: Iterable[Key]) -> List[bool]:
         return [False for _ in keys]
 
+    def _contains_batch(self, batch):
+        np = vec.numpy_or_none()
+        return np.zeros(len(batch), dtype=bool)
+
     def size_in_bits(self) -> int:
         return 0
 
@@ -72,6 +77,17 @@ class ShardRouter:
     def shard_of(self, key: Key) -> int:
         """Return the shard index ``key`` routes to."""
         return mix64(xxhash(normalize_key(key)) ^ self._salt) % self._num_shards
+
+    def shard_of_many(self, batch: "vec.KeyBatch"):
+        """Vector form of :meth:`shard_of` over an encoded batch.
+
+        Returns an int64 ndarray of shard indexes; requires numpy (callers
+        gate on the engine and fall back to per-key routing without it).
+        """
+        np = vec.numpy_or_none()
+        values = vec.hash_batch(xxhash, batch)
+        salted = vec.mix64(values ^ np.uint64(self._salt))
+        return (salted % np.uint64(self._num_shards)).astype(np.int64)
 
 
 class ShardedFilterStore:
@@ -246,11 +262,16 @@ class ShardedFilterStore:
     def query_many(self, keys: Sequence[Key]) -> List[bool]:
         """Batch membership test, in input order.
 
-        Keys are grouped per shard and each group is answered with one
-        ``contains_many`` call, so backends that optimise batches (or later,
-        vectorised backends) see contiguous work.
+        With numpy available the whole batch is encoded once, the shard
+        partition is one vectorized router pass, and each shard's group is
+        answered with one engine call (sharing the encoded sub-batch with the
+        filter's array program).  Without numpy, keys are grouped per shard
+        and answered through each filter's ``contains_many`` fallback.
         """
         keys = list(keys)
+        np = vec.numpy_or_none()
+        if np is not None and keys:
+            return self._query_many_vectorized(np, keys)
         results: List[bool] = [False] * len(keys)
         groups: dict = {}
         for position, key in enumerate(keys):
@@ -273,6 +294,36 @@ class ShardedFilterStore:
                 stats.queries += len(positions)
                 stats.positives += hits
         return results
+
+    def _query_many_vectorized(self, np, keys: List[Key]) -> List[bool]:
+        """Engine path of :meth:`query_many`: one partition, one gather."""
+        batch = vec.KeyBatch(keys)
+        shards = self._router.shard_of_many(batch)
+        results = np.zeros(len(keys), dtype=bool)
+        for shard in np.unique(shards):
+            positions = np.flatnonzero(shards == shard)
+            filt = self._filters[int(shard)]
+            sub = batch.take(positions)
+            answers = None
+            batch_fn = getattr(filt, "_contains_batch", None)
+            if batch_fn is not None:
+                answers = batch_fn(sub)
+            if answers is None:
+                contains_many = getattr(filt, "contains_many", None)
+                if contains_many is not None:
+                    answers = np.asarray(contains_many(sub.keys), dtype=bool)
+                else:
+                    answers = np.fromiter(
+                        (filt.contains(key) for key in sub.keys),
+                        dtype=bool,
+                        count=len(sub.keys),
+                    )
+            results[positions] = answers
+            with self._stats_lock:
+                stats = self._stats[int(shard)]
+                stats.queries += int(positions.size)
+                stats.positives += int(np.count_nonzero(answers))
+        return results.tolist()
 
     def __contains__(self, key: Key) -> bool:
         return self.query(key)

@@ -128,3 +128,29 @@ class TestFilterEffect:
         assert stats.hits == 100
         assert stats.misses == 50
         assert stats.io_cost >= stats.wasted_io_cost
+
+
+class TestBatchReads:
+    def _tree(self):
+        tree = LSMTree(memtable_capacity=16, filter_policy=BloomFilterPolicy(10))
+        for i in range(120):
+            tree.put(f"k{i:04d}", i)
+        for i in range(0, 120, 10):
+            tree.delete(f"k{i:04d}")
+        return tree
+
+    def test_get_many_matches_scalar_gets_and_stats(self):
+        batch_tree, scalar_tree = self._tree(), self._tree()
+        lookup = (
+            [f"k{i:04d}" for i in range(0, 140, 3)]
+            + [f"missing{i}" for i in range(20)]
+            + ["k0005"]  # duplicate key in one batch
+        )
+        assert batch_tree.get_many(lookup) == [scalar_tree.get(key) for key in lookup]
+        assert vars(batch_tree.stats) == vars(scalar_tree.stats)
+
+    def test_get_many_reads_memtable_first(self):
+        tree = LSMTree(memtable_capacity=1024, filter_policy=BloomFilterPolicy(10))
+        tree.put("only-in-memtable", 42)
+        assert tree.get_many(["only-in-memtable", "absent"]) == [42, None]
+        assert tree.stats.table_lookups == 0

@@ -99,3 +99,28 @@ class TestReads:
             for key, expected in entries[:30]:
                 found, value, _ = table.get(key)
                 assert found and value == expected
+
+
+class TestBatchReads:
+    def test_get_many_matches_scalar_gets_and_stats(self):
+        entries = make_entries(200, step=2)
+        missing = [f"key{i:05d}" for i in range(1, 399, 2)]
+        lookup = [key for key, _ in entries[:60]] + missing[:60] + ["zzz-out-of-range"]
+        batch_table = SSTable(entries, filter_policy=BloomFilterPolicy(10))
+        scalar_table = SSTable(entries, filter_policy=BloomFilterPolicy(10))
+        assert batch_table.get_many(lookup) == [scalar_table.get(key) for key in lookup]
+        assert vars(batch_table.stats) == vars(scalar_table.stats)
+
+    def test_get_many_sees_tombstones(self):
+        entries = [("a", 1), ("b", TOMBSTONE), ("c", 3)]
+        table = SSTable(entries, filter_policy=BloomFilterPolicy(10))
+        results = table.get_many(["a", "b", "c", "d"])
+        assert results[0][:2] == (True, 1)
+        assert results[1][:2] == (True, None)  # tombstone: found, no value
+        assert results[2][:2] == (True, 3)
+        assert results[3][0] is False
+
+    def test_get_many_empty_batch(self):
+        table = SSTable(make_entries(10))
+        assert table.get_many([]) == []
+        assert table.stats.lookups == 0

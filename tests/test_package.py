@@ -1,6 +1,9 @@
-"""Package-level tests: public exports, version, exception hierarchy."""
+"""Package-level tests: public exports, version, packaging metadata,
+exception hierarchy."""
 
 from __future__ import annotations
+
+from pathlib import Path
 
 import pytest
 
@@ -21,6 +24,24 @@ class TestPublicApi:
         assert repro.HABF.algorithm_name == "HABF"
         assert repro.FastHABF.algorithm_name == "f-HABF"
         assert len(repro.GLOBAL_HASH_FAMILY) == 22
+
+    def test_pyproject_metadata_matches_package(self):
+        """setup.py defers all metadata to pyproject.toml; keep them honest."""
+        try:
+            import tomllib
+        except ImportError:  # Python < 3.11
+            pytest.skip("tomllib unavailable")
+        pyproject = Path(__file__).resolve().parent.parent / "pyproject.toml"
+        metadata = tomllib.loads(pyproject.read_text())
+        assert metadata["project"]["name"] == "habf-repro"
+        assert metadata["project"]["version"] == repro.__version__
+        assert any(
+            dep.startswith("numpy") for dep in metadata["project"]["dependencies"]
+        ), "numpy is a real dependency of the learned baselines and the batch engine"
+        assert metadata["tool"]["pytest"]["ini_options"]["testpaths"] == [
+            "tests",
+            "benchmarks",
+        ]
 
     def test_quickstart_snippet_from_readme(self):
         """The README quickstart must keep working verbatim (smaller sizes)."""
