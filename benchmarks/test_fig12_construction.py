@@ -22,9 +22,25 @@ def test_fig12_construction_and_query_time(benchmark, quick_config):
                 > rows["BF"]["construction_ns_per_key"]
             )
 
-        # f-HABF's fast construction stays within a small factor of HABF
-        # (in the paper it is ~7x cheaper; in pure Python the gap is smaller).
-        assert (
-            rows["f-HABF"]["construction_ns_per_key"]
-            <= 1.2 * rows["HABF"]["construction_ns_per_key"]
+    # f-HABF's fast construction stays within a small factor of HABF (in the
+    # paper it is ~7x cheaper; in pure Python the gap is smaller).  Since the
+    # bulk-build engine, a quick-config build finishes in tens of
+    # milliseconds, so the ratio is re-measured best-of-three rather than
+    # read from the figure's single-shot timings, where one scheduler stall
+    # can flip it.
+    from repro.experiments.registry import build_filter
+    from repro.metrics.timing import time_construction_best_of
+
+    dataset = quick_config.shalla_dataset()
+    total_bits = 10 * dataset.num_positives
+
+    def best_seconds(algorithm):
+        _, timing = time_construction_best_of(
+            lambda: build_filter(
+                algorithm, dataset, total_bits, costs=dataset.costs, seed=quick_config.seed
+            ),
+            num_keys=dataset.num_positives,
         )
+        return timing.total_seconds
+
+    assert best_seconds("f-HABF") <= 1.2 * best_seconds("HABF")

@@ -30,8 +30,9 @@ def main() -> None:
     bits_per_key = 9.0
     total_bits = int(bits_per_key * dataset.num_positives)
 
-    bloom = BloomFilter(num_bits=total_bits, num_hashes=optimal_num_hashes(bits_per_key))
-    bloom.add_all(dataset.positives)
+    bloom = BloomFilter.from_keys(
+        dataset.positives, num_bits=total_bits, num_hashes=optimal_num_hashes(bits_per_key)
+    )
 
     xor = XorFilter.from_bits_per_key(dataset.positives, bits_per_key)
 

@@ -28,8 +28,9 @@ def main() -> None:
     total_bits = int(bits_per_key * len(positives))
 
     # --- Standard Bloom filter -------------------------------------------
-    bloom = BloomFilter(num_bits=total_bits, num_hashes=optimal_num_hashes(bits_per_key))
-    bloom.add_all(positives)
+    bloom = BloomFilter.from_keys(
+        positives, num_bits=total_bits, num_hashes=optimal_num_hashes(bits_per_key)
+    )
 
     # --- HABF: same space budget, but aware of the negatives and costs ----
     params = HABFParams(total_bits=total_bits, k=3, delta=0.25, cell_hash_bits=4)

@@ -109,11 +109,27 @@ class AdaptiveLearnedBloomFilter(BatchMembership):
         self._bloom = BloomFilter(
             num_bits=array_bits, num_hashes=max_hashes, family=family
         )
-        for key, score in zip(positives, positive_scores):
-            group = self._group_of(float(score))
-            selection = list(range(self._group_hashes[group]))
-            self._bloom.add_with_selection(key, selection)
+        # Bulk insert: bucket every positive by score group, then one batch
+        # insert per group under that group's prefix selection — the build
+        # twin of the grouped probes in `_contains_batch`.
+        groups = self._groups_for_scores(positive_scores)
+        for group in np.unique(groups):
+            members = np.flatnonzero(groups == group)
+            selection = list(range(self._group_hashes[int(group)]))
+            self._bloom.add_many_with_selection(
+                [positives[int(i)] for i in members], selection
+            )
         self._built = True
+
+    def _groups_for_scores(self, scores: np.ndarray) -> np.ndarray:
+        """Score group of every entry; vector twin of :meth:`_group_of`.
+
+        The thresholds are ascending quantiles, so "count of thresholds ≤
+        score" (``searchsorted`` with ``side='right'``) equals the scalar
+        walk.
+        """
+        groups = np.searchsorted(np.asarray(self._thresholds), scores, side="right")
+        return np.minimum(groups, self._num_groups - 1)
 
     def _group_of(self, score: float) -> int:
         group = 0
@@ -150,8 +166,7 @@ class AdaptiveLearnedBloomFilter(BatchMembership):
         if not self._built or self._bloom is None:
             raise ConstructionError("AdaptiveLearnedBloomFilter.build must be called first")
         scores = self._model.scores(batch.keys)
-        groups = np.searchsorted(np.asarray(self._thresholds), scores, side="right")
-        groups = np.minimum(groups, self._num_groups - 1)
+        groups = self._groups_for_scores(scores)
         answers = np.zeros(len(batch), dtype=bool)
         for group in np.unique(groups):
             members = np.flatnonzero(groups == group)

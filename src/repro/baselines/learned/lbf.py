@@ -139,9 +139,9 @@ class LearnedBloomFilter(BatchMembership):
         bits_per_key = backup_bits / len(missed)
         num_hashes = optimal_num_hashes(bits_per_key)
         family = DoubleHashFamily(size=max(1, num_hashes), primitive="xxhash", seed=self._seed)
-        backup = BloomFilter(num_bits=backup_bits, num_hashes=num_hashes, family=family)
-        backup.add_all(missed)
-        return backup
+        return BloomFilter.from_keys(
+            missed, num_bits=backup_bits, num_hashes=num_hashes, family=family
+        )
 
     # ------------------------------------------------------------------ #
     # Queries and accounting

@@ -119,9 +119,9 @@ class SandwichedLearnedBloomFilter(BatchMembership):
         bits_per_key = num_bits / max(1, len(keys))
         num_hashes = optimal_num_hashes(bits_per_key)
         family = DoubleHashFamily(size=max(1, num_hashes), primitive="xxhash", seed=self._seed)
-        bloom = BloomFilter(num_bits=num_bits, num_hashes=num_hashes, family=family)
-        bloom.add_all(keys)
-        return bloom
+        return BloomFilter.from_keys(
+            keys, num_bits=num_bits, num_hashes=num_hashes, family=family
+        )
 
     # ------------------------------------------------------------------ #
     # Queries and accounting

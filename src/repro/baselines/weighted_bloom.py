@@ -125,7 +125,7 @@ class WeightedBloomFilter(BatchMembership):
             cache_fraction=cache_fraction,
         )
         wbf._populate_cache(list(negatives), costs or {}, max_extra_hashes)
-        wbf.add_all(positives)
+        wbf.add_many(positives)
         return wbf
 
     def _populate_cache(
@@ -161,9 +161,36 @@ class WeightedBloomFilter(BatchMembership):
         self._num_items += 1
 
     def add_all(self, keys: Iterable[Key]) -> None:
-        """Insert every key in ``keys``."""
+        """Insert every key in ``keys`` (scalar loop; prefer :meth:`add_many`)."""
         for key in keys:
             self.add(key)
+
+    def _add_batch(self, batch) -> bool:
+        """Batch form of :meth:`add`.
+
+        Mirrors :meth:`_contains_batch`: one shared base/step pass, then
+        probe round ``i`` sets bits only for the keys whose *insert* hash
+        count (``max(default, cached)``, the zero-FNR rule of :meth:`add`)
+        exceeds ``i``.
+        """
+        np = vec.numpy_or_none()
+        counts = np.fromiter(
+            (
+                max(self._default_hashes, self._hashes_for(key))
+                for key in batch.keys
+            ),
+            dtype=np.int64,
+            count=len(batch),
+        )
+        base = vec.hash_batch(xxhash, batch)
+        step = vec.mix64(base ^ np.uint64(0xA076_1D64_78BD_642F)) | np.uint64(1)
+        modulus = np.uint64(len(self._bits))
+        for probe in range(int(counts.max()) if len(batch) else 0):
+            active = counts > probe
+            positions = (base + np.uint64(probe) * step) % modulus
+            self._bits.set_many(positions[active])
+        self._num_items += len(batch)
+        return True
 
     # ------------------------------------------------------------------ #
     # Queries and accounting

@@ -79,29 +79,60 @@ class XorFilter(BatchMembership):
         # Avoid the all-zero fingerprint so that an empty filter rejects keys.
         return fp if fp != 0 else 1
 
+    def _batch_state(self, batch, seed: int):
+        """Slots and fingerprints of a whole batch under ``seed``.
+
+        One vectorized pass shared by construction (every peeling attempt)
+        and :meth:`_contains_batch`; bit-for-bit equal to the scalar
+        :meth:`_slots_for` / :meth:`_fingerprint` pair.
+        """
+        np = vec.numpy_or_none()
+        golden = 0x9E3779B97F4A7C15
+        base = vec.hash_batch(xxhash, batch)
+        value = vec.mix64(base ^ np.uint64((seed * golden) & _MASK64))
+        segment = np.uint64(self._segment_length)
+        h0 = value % segment
+        h1 = segment + vec.mix64(value ^ np.uint64(0x1234567)) % segment
+        h2 = np.uint64(2) * segment + vec.mix64(value ^ np.uint64(0x89ABCDE)) % segment
+        fp_seed = ((seed ^ 0x5F5F5F5F) * golden) & _MASK64
+        fingerprint = vec.mix64(base ^ np.uint64(fp_seed)) & np.uint64(self._fingerprint_mask)
+        fingerprint = np.where(fingerprint == 0, np.uint64(1), fingerprint)
+        return h0, h1, h2, fingerprint
+
     # ------------------------------------------------------------------ #
     # Construction (peeling)
     # ------------------------------------------------------------------ #
     def _build(self, keys: List[Key]) -> None:
+        np = vec.numpy_or_none()
+        batch = vec.KeyBatch(keys) if np is not None else None
         for attempt in range(64):
             seed = self._seed + attempt
-            order = self._peel(keys, seed)
+            if batch is not None:
+                # Bulk-build path: hash every key once per attempt as one
+                # array program (the xxhash base pass is memoised on the
+                # batch, so retries only pay the mixing arithmetic).
+                h0, h1, h2, fp = self._batch_state(batch, seed)
+                key_slots = list(zip(h0.tolist(), h1.tolist(), h2.tolist()))
+                fingerprints = fp.tolist()
+            else:
+                key_slots = [self._slots_for(key, seed) for key in keys]
+                fingerprints = [self._fingerprint(key, seed) for key in keys]
+            order = self._peel(key_slots)
             if order is not None:
-                self._assign(keys, order, seed)
+                self._assign(order, key_slots, fingerprints)
                 self._seed = seed
                 return
         raise CapacityError(
             f"Xor filter peeling failed for {len(keys)} keys after 64 seeds"
         )
 
-    def _peel(self, keys: List[Key], seed: int) -> Optional[List[Tuple[int, int]]]:
+    def _peel(
+        self, key_slots: List[Tuple[int, int, int]]
+    ) -> Optional[List[Tuple[int, int]]]:
         """Return a peel order of ``(key_index, slot)`` pairs, or None on failure."""
         slot_count = [0] * self._capacity
         slot_xor = [0] * self._capacity
-        key_slots: List[Tuple[int, int, int]] = []
-        for key_index, key in enumerate(keys):
-            slots = self._slots_for(key, seed)
-            key_slots.append(slots)
+        for key_index, slots in enumerate(key_slots):
             for slot in slots:
                 slot_count[slot] += 1
                 slot_xor[slot] ^= key_index
@@ -119,22 +150,24 @@ class XorFilter(BatchMembership):
                 slot_xor[other] ^= key_index
                 if slot_count[other] == 1:
                     singles.append(other)
-        if len(stack) != len(keys):
+        if len(stack) != len(key_slots):
             return None
-        self._key_slots_cache = key_slots
         return stack
 
-    def _assign(self, keys: List[Key], order: List[Tuple[int, int]], seed: int) -> None:
+    def _assign(
+        self,
+        order: List[Tuple[int, int]],
+        key_slots: List[Tuple[int, int, int]],
+        fingerprints: List[int],
+    ) -> None:
         self._slots = [0] * self._capacity
         for key_index, free_slot in reversed(order):
-            key = keys[key_index]
-            slots = self._key_slots_cache[key_index]
-            value = self._fingerprint(key, seed)
+            slots = key_slots[key_index]
+            value = fingerprints[key_index]
             for slot in slots:
                 if slot != free_slot:
                     value ^= self._slots[slot]
             self._slots[free_slot] = value
-        del self._key_slots_cache
 
     # ------------------------------------------------------------------ #
     # Queries and accounting
@@ -155,16 +188,7 @@ class XorFilter(BatchMembership):
     def _contains_batch(self, batch):
         """Batch form of :meth:`contains`: slots and fingerprints in one pass."""
         np = vec.numpy_or_none()
-        golden = 0x9E3779B97F4A7C15
-        base = vec.hash_batch(xxhash, batch)
-        value = vec.mix64(base ^ np.uint64((self._seed * golden) & ((1 << 64) - 1)))
-        segment = np.uint64(self._segment_length)
-        h0 = value % segment
-        h1 = segment + vec.mix64(value ^ np.uint64(0x1234567)) % segment
-        h2 = np.uint64(2) * segment + vec.mix64(value ^ np.uint64(0x89ABCDE)) % segment
-        fp_seed = ((self._seed ^ 0x5F5F5F5F) * golden) & ((1 << 64) - 1)
-        fingerprint = vec.mix64(base ^ np.uint64(fp_seed)) & np.uint64(self._fingerprint_mask)
-        fingerprint = np.where(fingerprint == 0, np.uint64(1), fingerprint)
+        h0, h1, h2, fingerprint = self._batch_state(batch, self._seed)
         if self._slots_array is None:
             self._slots_array = np.asarray(self._slots, dtype=np.uint64)
         slots = self._slots_array

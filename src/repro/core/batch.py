@@ -1,14 +1,17 @@
 """The shared batch-membership engine interface.
 
 Every filter in the library mixes in :class:`BatchMembership`, which defines
-the public batch query ``contains_many(keys) -> List[bool]`` once: encode the
-keys into one :class:`~repro.hashing.vectorized.KeyBatch`, hand it to the
-filter's ``_contains_batch`` array program, and fall back to the scalar
-``contains`` loop when numpy is absent (or the filter has no batch path).
-The membership hot path thereby stops being "a loop over ``contains``" and
-becomes one array program per filter, while the scalar semantics stay the
-single source of truth — the engine must agree with them bit for bit (pinned
-by ``tests/core/test_batch_equivalence.py``).
+the public batch query ``contains_many(keys) -> List[bool]`` and the bulk
+construction entry ``add_many(keys)`` once: encode the keys into one
+:class:`~repro.hashing.vectorized.KeyBatch`, hand it to the filter's
+``_contains_batch`` / ``_add_batch`` array program, and fall back to the
+scalar ``contains`` / ``add`` loop when numpy is absent (or the filter has
+no batch path).  The membership hot paths thereby stop being "a loop over
+``contains``" (or ``add``) and become one array program per filter, while
+the scalar semantics stay the single source of truth — the engine must agree
+with them bit for bit (pinned by ``tests/core/test_batch_equivalence.py``
+for queries and ``tests/core/test_batch_build_equivalence.py`` for
+construction).
 
 The module also hosts the two position kernels shared by the Bloom-probing
 filters:
@@ -27,18 +30,20 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
+from repro.errors import ConstructionError
 from repro.hashing import vectorized as vec
 from repro.hashing.base import Key
 from repro.hashing.double_hashing import DoubleHashFamily
 
 
 class BatchMembership:
-    """Mixin providing the engine-backed ``contains_many``.
+    """Mixin providing the engine-backed ``contains_many`` and ``add_many``.
 
-    Subclasses override :meth:`_contains_batch` with an array program over a
+    Subclasses override :meth:`_contains_batch` (and, for incrementally
+    buildable filters, :meth:`_add_batch`) with an array program over a
     :class:`~repro.hashing.vectorized.KeyBatch`; the mixin handles encoding,
     the numpy gate and the scalar fallback.  Filters that cannot vectorize
-    simply inherit the fallback loop, so every filter in the library exposes
+    simply inherit the fallback loops, so every filter in the library exposes
     the same batch interface.
     """
 
@@ -51,6 +56,45 @@ class BatchMembership:
             if answers is not None:
                 return answers.tolist()
         return self._contains_fallback(keys)
+
+    def add_many(self, keys: Iterable[Key]) -> None:
+        """Bulk form of ``add``: encode once, insert the whole batch.
+
+        The resulting filter state is bit-for-bit identical to looping the
+        scalar ``add`` over ``keys`` (pinned by
+        ``tests/core/test_batch_build_equivalence.py``), so serialized codec
+        frames do not depend on which path built the filter.  Filters without
+        an ``_add_batch`` array program — or any filter when numpy is absent
+        — take the scalar fallback loop.  Build-once filters (no ``add``,
+        e.g. the Xor filter) raise
+        :class:`~repro.errors.ConstructionError` instead of failing with an
+        attribute lookup.
+        """
+        keys = list(keys)
+        np = vec.numpy_or_none()
+        if np is not None and keys:
+            if self._add_batch(vec.KeyBatch(keys)):
+                return
+        self._add_fallback(keys)
+
+    def _add_fallback(self, keys: List[Key]) -> None:
+        """Scalar bulk-insert path used when numpy (or a batch program) is absent."""
+        add = getattr(self, "add", None)
+        if add is None and keys:
+            raise ConstructionError(
+                f"{type(self).__name__} is built once from its key set and does "
+                "not support incremental insertion (add_many)"
+            )
+        for key in keys:
+            add(key)
+
+    def _add_batch(self, batch: "vec.KeyBatch") -> bool:
+        """Insert a whole encoded batch; return ``True`` if handled.
+
+        ``False`` means "no bulk-build path for this filter" and routes the
+        call to the scalar fallback.  Only invoked when numpy is available.
+        """
+        return False
 
     def _contains_fallback(self, keys: List[Key]) -> List[bool]:
         """Scalar batch path used when numpy (or a batch program) is absent.

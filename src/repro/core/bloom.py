@@ -138,7 +138,12 @@ class BloomFilter(BatchMembership):
         self.add_with_selection(key, self._initial_selection)
 
     def add_all(self, keys: Iterable[Key]) -> None:
-        """Insert every key in ``keys`` using ``H0``."""
+        """Insert every key in ``keys`` using ``H0``.
+
+        Prefer :meth:`add_many` for large key sets — it routes through the
+        batch engine; this scalar loop is kept for incremental use and as the
+        numpy-free reference semantics.
+        """
         for key in keys:
             self.add(key)
 
@@ -148,9 +153,88 @@ class BloomFilter(BatchMembership):
             self._bits.set(position)
         self._num_items += 1
 
+    def _insert_selection_batch(self, batch, selection: Sequence[int]) -> None:
+        """Engine round: insert a whole batch under one fixed selection.
+
+        One ``(k, n)`` position pass plus one ``set_many`` over the shared
+        ``bytearray`` — serialization stays byte-identical to the scalar
+        insert loop.
+        """
+        positions = positions_for_selection(
+            self._family, batch, selection, len(self._bits)
+        )
+        self._bits.set_many(positions.reshape(-1))
+        self._num_items += len(batch)
+
+    def _add_batch(self, batch) -> bool:
+        """Batch form of :meth:`add`: one H0 position pass + ``set_many``."""
+        self._insert_selection_batch(batch, self._initial_selection)
+        return True
+
+    def add_many_with_selection(self, keys: Iterable[Key], selection: Sequence[int]) -> None:
+        """Bulk form of :meth:`add_with_selection` (one fixed selection for all).
+
+        Used by filters that insert key groups under distinct selections
+        (e.g. Ada-BF's score groups); falls back to the scalar loop when
+        numpy is absent, with identical resulting bits.
+        """
+        keys = list(keys)
+        from repro.hashing import vectorized as vec
+
+        np = vec.numpy_or_none()
+        if np is not None and keys:
+            self._insert_selection_batch(vec.KeyBatch(keys), selection)
+            return
+        for key in keys:
+            self.add_with_selection(key, selection)
+
+    @classmethod
+    def from_keys(
+        cls,
+        keys: Iterable[Key],
+        num_bits: Optional[int] = None,
+        num_hashes: Optional[int] = None,
+        bits_per_key: float = 10.0,
+        family: Optional[FamilyLike] = None,
+        selection: Optional[Sequence[int]] = None,
+    ) -> "BloomFilter":
+        """Build a Bloom filter from a key set via the bulk-build path.
+
+        Args:
+            keys: The keys to insert (consumed once).
+            num_bits: Explicit bit-array size; derived from ``bits_per_key``
+                and ``len(keys)`` when omitted.
+            num_hashes: Explicit hash count; derived from the effective
+                bits-per-key when omitted.
+            bits_per_key: Space budget used for derivation.
+            family: Hash family override (see :class:`BloomFilter`).
+            selection: Initial hash selection ``H0`` override.
+        """
+        keys = list(keys)
+        if num_bits is None:
+            num_bits = max(8, int(round(bits_per_key * max(1, len(keys)))))
+        if num_hashes is None:
+            num_hashes = optimal_num_hashes(num_bits / max(1, len(keys)))
+        bloom = cls(
+            num_bits=num_bits, num_hashes=num_hashes, family=family, selection=selection
+        )
+        bloom.add_many(keys)
+        return bloom
+
     def set_position(self, position: int) -> None:
         """Set an individual bit; used by the TPJO optimizer."""
         self._bits.set(position)
+
+    def add_positions_many(self, positions, num_keys: int) -> None:
+        """Commit precomputed bit positions as ``num_keys`` insertions.
+
+        TPJO hook: the optimizer computes the H0 position matrix itself (it
+        needs the per-key positions for its ``V`` index) and hands the whole
+        matrix here, so the bits are set in one ``set_many`` instead of a
+        per-key loop.
+        """
+        self._bits.set_many(positions)
+        self._num_items += num_keys
 
     def clear_position(self, position: int) -> None:
         """Clear an individual bit; only safe when the caller knows (via the

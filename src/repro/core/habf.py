@@ -140,8 +140,9 @@ class HABF(BatchMembership):
                 f"{len(overlap)} keys appear in both"
             )
         if self._expressor is None or not negatives:
-            # Degenerate case (∆=0 or no negative information): plain Bloom filter.
-            self._bloom.add_all(positives)
+            # Degenerate case (∆=0 or no negative information): plain Bloom
+            # filter, bulk-inserted through the engine.
+            self._bloom.add_many(positives)
             self._stats = TPJOStats(
                 num_positive=len(positives), num_negative=len(negatives)
             )

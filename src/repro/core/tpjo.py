@@ -25,6 +25,15 @@ HashExpressor insertion succeeds.
 The fast construction used by f-HABF (Section III-G) disables ``Γ``: no
 conflict detection is performed, which speeds construction up at the price of
 occasionally creating new (unprotected) collisions.
+
+Construction runs on the batch engine when numpy is available: the H0
+insertion and the negative-key classification each hash their whole key set
+in one :func:`~repro.core.batch.positions_for_selection` pass, and candidate
+evaluation gathers positions from cached per-family-index columns instead of
+re-hashing the owner key per candidate.  The resulting filter is bit-for-bit
+identical to the scalar construction (same shuffle order, same V/Γ updates,
+same candidate ranking), pinned by
+``tests/core/test_batch_build_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -34,10 +43,12 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.core.batch import positions_for_selection
 from repro.core.bloom import BloomFilter
 from repro.core.hash_expressor import HashExpressor
 from repro.core.params import HABFParams
 from repro.errors import ConfigurationError
+from repro.hashing import vectorized as vec
 from repro.hashing.base import Key
 
 
@@ -115,6 +126,13 @@ class TPJOOptimizer:
         # Cached H0 bit positions for negative keys.
         self._negative_positions: Dict[Key, Tuple[int, ...]] = {}
         self._costs: Dict[Key, float] = {}
+        # Batch-construction state: the positives encoded once as a KeyBatch,
+        # each key's batch row, and lazily materialised per-family-index
+        # position columns.  Candidate evaluation then re-reads a cached
+        # column instead of re-hashing the owner key per candidate.
+        self._positive_batch = None
+        self._positive_rows: Dict[Key, int] = {}
+        self._family_columns: Dict[int, object] = {}
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -188,6 +206,11 @@ class TPJOOptimizer:
         stats.optimized = len(resolved)
         stats.failed = len(failed - resolved)
         stats.adjusted_positive_keys = len(self._adjusted)
+        # The optimisation queue is drained; release the cached hash state so
+        # the built filter does not pin the whole positive batch in memory.
+        self._positive_batch = None
+        self._positive_rows = {}
+        self._family_columns = {}
         return stats
 
     # ------------------------------------------------------------------ #
@@ -197,6 +220,24 @@ class TPJOOptimizer:
         self._units = [_Unit() for _ in range(self._bloom.num_bits)]
         order = list(positives)
         self._rng.shuffle(order)
+        np = vec.numpy_or_none()
+        if np is not None and order:
+            # Bulk insert: hash the whole (shuffled) positive set under H0 in
+            # one engine pass, commit the bits with one set_many, and walk the
+            # resulting position lists to build the V index in the same order
+            # the scalar loop would.  The KeyBatch is kept for the rest of
+            # the run so candidate evaluation reuses its hash memo.
+            batch = vec.KeyBatch(order)
+            matrix = positions_for_selection(
+                self._family, batch, self._h0, self._bloom.num_bits
+            )
+            self._bloom.add_positions_many(matrix, len(order))
+            self._positive_batch = batch
+            self._positive_rows = {key: row for row, key in enumerate(order)}
+            for key, positions in zip(order, matrix.T.tolist()):
+                for position in positions:
+                    self._record_positive_mapping(position, key)
+            return
         for key in order:
             positions = self._bloom.bit_positions(key, self._h0)
             self._bloom.add_with_selection(key, self._h0)
@@ -212,15 +253,27 @@ class TPJOOptimizer:
         # else: already multi-mapped, nothing to do.
 
     def _classify_negatives(self, negatives: Sequence[Key]) -> List[Key]:
+        position_lists = self._negative_position_lists(negatives)
         collisions: List[Key] = []
-        for key in negatives:
-            positions = tuple(self._bloom.bit_positions(key, self._h0))
+        for key, positions in zip(negatives, position_lists):
             self._negative_positions[key] = positions
             if self._is_false_positive(positions):
                 collisions.append(key)
             else:
                 self._protect(key)
         return collisions
+
+    def _negative_position_lists(self, negatives: Sequence[Key]) -> List[Tuple[int, ...]]:
+        """H0 positions of every negative key: one engine pass when possible."""
+        np = vec.numpy_or_none()
+        if np is not None and negatives:
+            matrix = positions_for_selection(
+                self._family, vec.KeyBatch(negatives), self._h0, self._bloom.num_bits
+            )
+            return [tuple(column) for column in matrix.T.tolist()]
+        return [
+            tuple(self._bloom.bit_positions(key, self._h0)) for key in negatives
+        ]
 
     def _protect(self, key: Key) -> None:
         """Register a currently-negative key in Γ so adjustments avoid breaking it."""
@@ -280,7 +333,7 @@ class TPJOOptimizer:
     ) -> Optional[List[Key]]:
         """Phase-I candidate generation + phase-II HashExpressor insertion."""
         current = self._selections.get(owner, self._h0)
-        owner_positions = self._bloom.bit_positions(owner, current)
+        owner_positions = [self._owner_position(owner, index) for index in current]
         try:
             slot = owner_positions.index(old_position)
         except ValueError:
@@ -318,7 +371,7 @@ class TPJOOptimizer:
         for family_index in range(min(len(self._family), limit)):
             if family_index in in_use:
                 continue
-            new_position = self._family[family_index](owner, self._bloom.num_bits)
+            new_position = self._owner_position(owner, family_index)
             if self._bloom.bits.test(new_position):
                 free_candidates.append((new_position, family_index))
                 continue
@@ -384,6 +437,28 @@ class TPJOOptimizer:
     # ------------------------------------------------------------------ #
     # Small helpers
     # ------------------------------------------------------------------ #
+    def _owner_position(self, key: Key, family_index: int) -> int:
+        """Bit position of a positive key under one family member.
+
+        Candidate evaluation probes every family member for each collision
+        owner; instead of re-hashing the owner per candidate, the position
+        comes from a cached whole-batch column (``family[index]`` over all
+        positives, materialised lazily and reusing the KeyBatch hash memo
+        from the H0 insertion pass).  Falls back to the scalar hash for keys
+        outside the batch or when numpy is absent.
+        """
+        if self._positive_batch is not None:
+            row = self._positive_rows.get(key)
+            if row is not None:
+                column = self._family_columns.get(family_index)
+                if column is None:
+                    column = self._family[family_index].hash_many(
+                        self._positive_batch, self._bloom.num_bits
+                    )
+                    self._family_columns[family_index] = column
+                return int(column[row])
+        return self._family[family_index](key, self._bloom.num_bits)
+
     def _cost(self, key: Key) -> float:
         return float(self._costs.get(key, 1.0))
 

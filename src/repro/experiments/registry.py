@@ -55,9 +55,9 @@ def _build_fast_habf(dataset, total_bits, costs, seed):
 def _build_bloom(dataset, total_bits, costs, seed):
     bits_per_key = total_bits / dataset.num_positives
     k = optimal_num_hashes(bits_per_key)
-    bloom = BloomFilter(num_bits=total_bits, num_hashes=k)
-    bloom.add_all(dataset.positives)
-    return bloom
+    return BloomFilter.from_keys(
+        dataset.positives, num_bits=total_bits, num_hashes=k
+    )
 
 
 def _build_bloom_double(primitive: str):
@@ -65,9 +65,9 @@ def _build_bloom_double(primitive: str):
         bits_per_key = total_bits / dataset.num_positives
         k = optimal_num_hashes(bits_per_key)
         family = DoubleHashFamily(size=k, primitive=primitive, seed=seed)
-        bloom = BloomFilter(num_bits=total_bits, num_hashes=k, family=family)
-        bloom.add_all(dataset.positives)
-        return bloom
+        return BloomFilter.from_keys(
+            dataset.positives, num_bits=total_bits, num_hashes=k, family=family
+        )
 
     return _build
 

@@ -23,6 +23,7 @@ monkeypatching ``repro.hashing.vectorized.np`` to ``None``.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.hashing.base import Key, normalize_key
@@ -45,6 +46,25 @@ def numpy_or_none():
     switches the whole stack onto the pure-Python fallback at once.
     """
     return np
+
+
+@contextmanager
+def force_scalar():
+    """Temporarily disable the numpy engine (scalar fallbacks everywhere).
+
+    The supported way to compare engine vs scalar behaviour — equivalence
+    tests, scalar-forced timing in ``fig12`` / the build benchmark — without
+    reaching into the module global by hand.  Restores the engine even if
+    the body raises.  Flips a process-wide switch, so do not use it around
+    code that serves concurrent engine traffic.
+    """
+    global np
+    saved = np
+    np = None
+    try:
+        yield
+    finally:
+        np = saved
 
 
 class KeyBatch:
@@ -607,13 +627,23 @@ def hash_batch(primitive: Callable[[bytes], int], batch: KeyBatch):
 
     Uses the vectorized twin when one exists; otherwise evaluates the scalar
     primitive per key (still saving the per-key normalisation, since the
-    batch carries pre-encoded bytes).
+    batch carries pre-encoded bytes).  Results are memoised on the batch, so
+    engine stages that derive several values from one primitive pass (Xor
+    slots + fingerprints, WBF base/step, double-hashing bases) hash each key
+    once per batch.
     """
+    cache_key = ("primitive", primitive)
+    values = batch.cache.get(cache_key)
+    if values is not None:
+        return values
     vectorized = _BY_CALLABLE.get(primitive)
     if vectorized is not None:
-        return vectorized(batch)
-    return np.fromiter(
-        ((primitive(d) & _MASK64) for d in batch.data),
-        dtype=np.uint64,
-        count=len(batch),
-    )
+        values = vectorized(batch)
+    else:
+        values = np.fromiter(
+            ((primitive(d) & _MASK64) for d in batch.data),
+            dtype=np.uint64,
+            count=len(batch),
+        )
+    batch.cache[cache_key] = values
+    return values

@@ -90,9 +90,9 @@ class BloomFilterPolicy:
         if not keys:
             return AlwaysContainsFilter()
         num_bits = max(8, int(round(self.bits_per_key * len(keys))))
-        bloom = BloomFilter(num_bits=num_bits, num_hashes=optimal_num_hashes(self.bits_per_key))
-        bloom.add_all(keys)
-        return bloom
+        return BloomFilter.from_keys(
+            keys, num_bits=num_bits, num_hashes=optimal_num_hashes(self.bits_per_key)
+        )
 
 
 class HABFFilterPolicy:

@@ -8,7 +8,13 @@ These implement the four metrics of the paper's Section V-B:
 4. construction memory consumption — :mod:`repro.metrics.memory`.
 """
 
-from repro.metrics.fpr import EvaluationResult, evaluate_filter, false_positive_rate, weighted_fpr
+from repro.metrics.fpr import (
+    EvaluationResult,
+    evaluate_filter,
+    false_positive_rate,
+    membership_flags,
+    weighted_fpr,
+)
 from repro.metrics.memory import measure_construction_memory
 from repro.metrics.timing import (
     LatencyPercentiles,
@@ -16,6 +22,7 @@ from repro.metrics.timing import (
     latency_percentiles,
     percentile,
     time_construction,
+    time_construction_best_of,
     time_queries,
     time_queries_batch,
 )
@@ -24,12 +31,14 @@ __all__ = [
     "EvaluationResult",
     "evaluate_filter",
     "false_positive_rate",
+    "membership_flags",
     "weighted_fpr",
     "TimingResult",
     "LatencyPercentiles",
     "latency_percentiles",
     "percentile",
     "time_construction",
+    "time_construction_best_of",
     "time_queries",
     "time_queries_batch",
     "measure_construction_memory",

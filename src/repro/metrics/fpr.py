@@ -22,6 +22,20 @@ class MembershipFilter(Protocol):
         ...
 
 
+def membership_flags(filter_obj: MembershipFilter, keys: Sequence[Key]) -> Sequence[bool]:
+    """Membership verdict per key, preferring the filter's batch engine.
+
+    One ``contains_many`` call when the filter exposes it (every filter in
+    this library does, via :class:`~repro.core.batch.BatchMembership`), a
+    scalar ``contains`` loop otherwise — so evaluation over large negative
+    sets runs at engine speed instead of a Python comprehension per key.
+    """
+    contains_many = getattr(filter_obj, "contains_many", None)
+    if contains_many is not None:
+        return contains_many(keys)
+    return [filter_obj.contains(key) for key in keys]
+
+
 @dataclass(frozen=True)
 class EvaluationResult:
     """Accuracy evaluation of one filter on one dataset.
@@ -46,11 +60,14 @@ class EvaluationResult:
 
 
 def false_positive_rate(filter_obj: MembershipFilter, negatives: Sequence[Key]) -> float:
-    """Fraction of ``negatives`` the filter reports as members."""
+    """Fraction of ``negatives`` the filter reports as members.
+
+    Routed through ``contains_many`` when the filter exposes it (one engine
+    call) rather than a scalar ``contains`` comprehension.
+    """
     if not negatives:
         return 0.0
-    false_positives = sum(1 for key in negatives if filter_obj.contains(key))
-    return false_positives / len(negatives)
+    return sum(membership_flags(filter_obj, negatives)) / len(negatives)
 
 
 def weighted_fpr(
@@ -64,12 +81,12 @@ def weighted_fpr(
     costs = costs or {}
     total_cost = 0.0
     fp_cost = 0.0
-    for key in negatives:
+    for key, flagged in zip(negatives, membership_flags(filter_obj, negatives)):
         cost = float(costs.get(key, 1.0))
         if cost < 0:
             raise ConfigurationError("costs must be non-negative")
         total_cost += cost
-        if filter_obj.contains(key):
+        if flagged:
             fp_cost += cost
     if total_cost == 0.0:
         return 0.0
@@ -93,13 +110,17 @@ def evaluate_filter(
     total_cost = 0.0
     fp_cost = 0.0
     false_positives = 0
-    for key in negative_keys:
+    # One batch verdict per key set (instead of re-driving scalar `contains`
+    # across two separate comprehensions); costs are folded in afterwards.
+    for key, flagged in zip(negative_keys, membership_flags(filter_obj, negative_keys)):
         cost = dataset.cost_of(key)
         total_cost += cost
-        if filter_obj.contains(key):
+        if flagged:
             false_positives += 1
             fp_cost += cost
-    false_negatives = sum(1 for key in dataset.positives if not filter_obj.contains(key))
+    false_negatives = sum(
+        1 for flagged in membership_flags(filter_obj, dataset.positives) if not flagged
+    )
     num_negatives = len(negative_keys)
     num_positives = dataset.num_positives
     return EvaluationResult(

@@ -1,0 +1,183 @@
+"""Scalar-vs-batch equivalence for *construction*, pinned at the byte level.
+
+The bulk-build contract mirrors the query-side one: building a filter
+through the engine (``add_many`` / the vectorized TPJO and peeling passes)
+must leave it in exactly the state the scalar build loop would — the same
+serialized codec frame, byte for byte, and the same frame again when the
+whole build runs on the numpy-absent fallback.  Anything less would mean a
+filter's stored bits depend on which machine built it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.baselines.learned.adabf import AdaptiveLearnedBloomFilter
+from repro.baselines.learned.lbf import LearnedBloomFilter
+from repro.baselines.learned.slbf import SandwichedLearnedBloomFilter
+from repro.baselines.weighted_bloom import WeightedBloomFilter
+from repro.baselines.xor_filter import XorFilter
+from repro.core.bloom import BloomFilter
+from repro.core.habf import HABF, FastHABF
+from repro.core.params import HABFParams
+from repro.hashing import vectorized
+from repro.hashing.double_hashing import DoubleHashFamily
+from repro.service import codec
+
+
+def _params(dataset) -> HABFParams:
+    return HABFParams.from_bits_per_key(10.0, dataset.num_positives, seed=5)
+
+
+#: Builders that produce codec-serializable filters; frames are compared.
+CODEC_BUILDERS = {
+    "bloom": lambda ds, costs: BloomFilter.from_keys(
+        ds.positives, num_bits=10 * ds.num_positives, num_hashes=7
+    ),
+    "bloom-double": lambda ds, costs: BloomFilter.from_keys(
+        ds.positives,
+        num_bits=10 * ds.num_positives,
+        num_hashes=7,
+        family=DoubleHashFamily(size=7, primitive="xxhash", seed=2),
+    ),
+    "habf": lambda ds, costs: HABF.build(
+        ds.positives, ds.negatives, costs=costs, params=_params(ds)
+    ),
+    "f-habf": lambda ds, costs: FastHABF.build(
+        ds.positives, ds.negatives, costs=costs, params=_params(ds)
+    ),
+    "habf-degenerate": lambda ds, costs: HABF.build(
+        ds.positives,
+        negatives=(),
+        params=HABFParams(total_bits=10 * ds.num_positives, k=3, delta=0.0),
+    ),
+    "xor": lambda ds, costs: XorFilter.from_bits_per_key(ds.positives, 10.0),
+}
+
+#: Builders whose filters are not codec-serializable; the underlying bit
+#: payloads are compared instead.
+PAYLOAD_BUILDERS = {
+    "wbf": (
+        lambda ds, costs: WeightedBloomFilter.build(
+            ds.positives, ds.negatives, costs=costs, bits_per_key=10.0
+        ),
+        lambda f: [f._bits.to_bytes()],
+    ),
+    "lbf": (
+        lambda ds, costs: LearnedBloomFilter.build(
+            ds.positives, ds.negatives, bits_per_key=12.0
+        ),
+        lambda f: [f.backup.bits.to_bytes() if f.backup else b""],
+    ),
+    "slbf": (
+        lambda ds, costs: SandwichedLearnedBloomFilter.build(
+            ds.positives, ds.negatives, bits_per_key=12.0
+        ),
+        lambda f: [
+            f.initial.bits.to_bytes() if f.initial else b"",
+            f.backup.bits.to_bytes() if f.backup else b"",
+        ],
+    ),
+    "ada-bf": (
+        lambda ds, costs: AdaptiveLearnedBloomFilter.build(
+            ds.positives, ds.negatives, bits_per_key=12.0
+        ),
+        lambda f: [f._bloom.bits.to_bytes()],
+    ),
+}
+
+
+def _build_without_numpy(build, dataset, costs):
+    """Run a full construction on the pure-Python fallback paths."""
+    with vectorized.force_scalar():
+        return build(dataset, costs)
+
+
+@pytest.mark.parametrize("name", list(CODEC_BUILDERS))
+def test_batch_build_codec_frames_match_scalar(name, small_shalla, skewed_costs):
+    build = CODEC_BUILDERS[name]
+    engine_frame = codec.dumps(build(small_shalla, skewed_costs))
+    fallback_frame = codec.dumps(
+        _build_without_numpy(build, small_shalla, skewed_costs)
+    )
+    assert engine_frame == fallback_frame, name
+
+
+@pytest.mark.parametrize("name", list(PAYLOAD_BUILDERS))
+def test_batch_build_bit_payloads_match_scalar(name, small_shalla, skewed_costs):
+    build, payload = PAYLOAD_BUILDERS[name]
+    engine_payload = payload(build(small_shalla, skewed_costs))
+    fallback_payload = payload(
+        _build_without_numpy(build, small_shalla, skewed_costs)
+    )
+    assert engine_payload == fallback_payload, name
+
+
+def test_add_many_matches_add_loop_and_counts(small_shalla):
+    """add_many == looped add, including item accounting and codec bytes."""
+    keys = small_shalla.positives
+    batched = BloomFilter(num_bits=10 * len(keys), num_hashes=7)
+    batched.add_many(keys)
+    scalar = BloomFilter(num_bits=10 * len(keys), num_hashes=7)
+    for key in keys:
+        scalar.add(key)
+    assert batched.num_items == scalar.num_items == len(keys)
+    assert codec.dumps(batched) == codec.dumps(scalar)
+
+
+def test_add_many_fallback_without_numpy(small_shalla, monkeypatch):
+    keys = small_shalla.positives[:200]
+    engine = BloomFilter(num_bits=4096, num_hashes=5)
+    engine.add_many(keys)
+    monkeypatch.setattr(vectorized, "np", None)
+    fallback = BloomFilter(num_bits=4096, num_hashes=5)
+    fallback.add_many(keys)
+    assert fallback.bits.to_bytes() == engine.bits.to_bytes()
+    assert fallback.num_items == engine.num_items
+
+
+def test_add_many_with_selection_matches_scalar(small_shalla):
+    keys = small_shalla.positives[:300]
+    selection = [4, 9, 17]
+    batched = BloomFilter(num_bits=8192, num_hashes=3, selection=selection)
+    batched.add_many_with_selection(keys, selection)
+    scalar = BloomFilter(num_bits=8192, num_hashes=3, selection=selection)
+    for key in keys:
+        scalar.add_with_selection(key, selection)
+    assert batched.bits.to_bytes() == scalar.bits.to_bytes()
+    assert batched.num_items == scalar.num_items
+
+
+def test_add_many_on_build_once_filter_raises(small_shalla):
+    """Static filters reject bulk inserts loudly instead of AttributeError."""
+    from repro.errors import ConstructionError
+
+    xor = XorFilter.from_bits_per_key(small_shalla.positives[:100], 10.0)
+    with pytest.raises(ConstructionError, match="incremental insertion"):
+        xor.add_many(["new-key"])
+    xor.add_many([])  # an empty bulk insert is a harmless no-op
+
+
+def test_from_keys_derives_consistent_parameters():
+    bloom = BloomFilter.from_keys(["a", "b", "c", "d"], bits_per_key=16.0)
+    assert bloom.num_bits == 64
+    assert bloom.num_items == 4
+    assert all(bloom.contains_many(["a", "b", "c", "d"]))
+
+
+def test_habf_construction_stats_identical_on_both_paths(small_shalla, skewed_costs):
+    """The TPJO trajectory (not just the final bits) must not depend on numpy."""
+    params = _params(small_shalla)
+    engine = HABF.build(
+        small_shalla.positives, small_shalla.negatives, costs=skewed_costs, params=params
+    )
+    fallback = _build_without_numpy(
+        lambda ds, costs: HABF.build(
+            ds.positives, ds.negatives, costs=costs, params=params
+        ),
+        small_shalla,
+        skewed_costs,
+    )
+    assert engine.construction_stats == fallback.construction_stats
