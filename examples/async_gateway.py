@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Async blacklist gateway: TCP server + concurrent clients, one process.
+
+The asyncio companion to ``examples/membership_service.py``: the same
+sharded, hot-rebuildable service, but served over the network through
+``repro.service.aserve``.  The demo starts an :class:`AsyncMembershipServer`
+on an ephemeral port, drives it with 16 concurrent line-protocol clients
+(each awaiting every answer before sending the next key — the closed-loop
+shape real callers produce), hot-rebuilds the blacklist mid-traffic, and
+prints the micro-batcher statistics that show scalar callers were coalesced
+into engine-sized windows.
+
+Run with::
+
+    python examples/async_gateway.py
+
+See ``docs/SERVING.md`` for the protocol spec and tuning guidance.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.service import AsyncMembershipServer, MembershipService
+from repro.workloads import generate_shalla_like
+
+NUM_CLIENTS = 16
+KEYS_PER_CLIENT = 50
+
+
+async def line_client(host: str, port: int, keys) -> list:
+    """One closed-loop client: Q per key, parse ``V <generation> <verdict>``."""
+    reader, writer = await asyncio.open_connection(host, port)
+    answers = []
+    for key in keys:
+        writer.write(f"Q {key}\n".encode())
+        await writer.drain()
+        _tag, generation, verdict = (await reader.readline()).split()
+        answers.append((int(verdict) == 1, int(generation)))
+    writer.close()
+    await writer.wait_closed()
+    return answers
+
+
+async def main() -> None:
+    dataset = generate_shalla_like(num_positives=4_000, num_negatives=4_000, seed=11)
+    service = MembershipService(backend="bloom-dh", num_shards=4, bits_per_key=10.0)
+    service.load(dataset.positives, dataset.negatives[:2_000])
+
+    async with AsyncMembershipServer(service, max_batch=256, max_wait_ms=2.0) as server:
+        host, port = await server.start_tcp()
+        print(f"serving generation {service.generation} on {host}:{port}")
+
+        # Wave 1: concurrent clients checking blacklisted URLs.
+        jobs = [
+            line_client(host, port, dataset.positives[i :: NUM_CLIENTS][:KEYS_PER_CLIENT])
+            for i in range(NUM_CLIENTS)
+        ]
+        waves = await asyncio.gather(*jobs)
+        assert all(verdict for wave in waves for verdict, _ in wave), "zero false negatives"
+        generations = {generation for wave in waves for _, generation in wave}
+        print(f"wave 1: {NUM_CLIENTS * KEYS_PER_CLIENT} keys, generations seen: {generations}")
+
+        # The blacklist is refreshed while the gateway keeps serving.
+        refreshed = dataset.positives[500:] + [f"new-threat-{i}.example" for i in range(500)]
+        service.rebuild(refreshed, dataset.negatives[:2_000])
+        print(f"hot rebuild complete -> generation {service.generation}")
+
+        # Wave 2 sees the new generation, old answers were never interrupted.
+        wave = await line_client(host, port, refreshed[-5:])
+        print(f"wave 2 sample: {wave}")
+
+        stats = server.batcher.stats()
+        batching = stats.batching
+        print(
+            f"\nmicro-batcher: {batching.flushes} windows for "
+            f"{batching.coalesced_keys} keys "
+            f"(batch p50={batching.batch_size.p50:.0f}, "
+            f"p99={batching.batch_size.p99:.0f} keys; "
+            f"window wait p99={batching.wait.p99 * 1e3:.2f}ms; "
+            f"adaptive deadline now {batching.current_wait_ms:.2f}ms)"
+        )
+        if stats.latency:
+            latency = stats.latency.scaled(1e6)
+            print(
+                f"engine per-key latency: p50={latency.p50:.2f}us "
+                f"p99={latency.p99:.2f}us over {latency.count} samples"
+            )
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

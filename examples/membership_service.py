@@ -10,6 +10,11 @@ snapshots so a restart does not pay construction again.
 Run with::
 
     python examples/membership_service.py
+
+This demo drives the service in-process.  For the network deployment —
+an asyncio TCP/HTTP front-end whose adaptive micro-batcher coalesces
+concurrent scalar callers into engine batches — see
+``examples/async_gateway.py`` and ``docs/SERVING.md``.
 """
 
 from __future__ import annotations

@@ -156,6 +156,45 @@ class KeyBatch:
             self._matrix64 = self.matrix.astype(np.uint64)
         return self._matrix64
 
+    @classmethod
+    def concat(cls, parts: Sequence["KeyBatch"]) -> "KeyBatch":
+        """Merge encoded batches into one batch without re-normalising any key.
+
+        The serving micro-batcher coalesces requests that were already
+        encoded at arrival time (multi-key protocol requests) with freshly
+        encoded scalar keys; concatenation re-pads the byte matrices to the
+        widest part at numpy speed and never touches ``normalize_key`` again.
+        Rows keep part order, so verdict slices map back to the original
+        requests by offset.
+        """
+        if np is None:  # pragma: no cover - callers gate on numpy_or_none()
+            raise RuntimeError("KeyBatch requires numpy")
+        parts = list(parts)
+        if not parts:
+            raise ValueError("KeyBatch.concat needs at least one part")
+        if len(parts) == 1:
+            return parts[0]
+        total = sum(len(part) for part in parts)
+        width = max(part.matrix.shape[1] for part in parts)
+        matrix = np.zeros((total, width), dtype=np.uint8)
+        lengths = np.empty(total, dtype=np.int64)
+        row = 0
+        for part in parts:
+            n = len(part)
+            matrix[row : row + n, : part.matrix.shape[1]] = part.matrix
+            lengths[row : row + n] = part.lengths
+            row += n
+        merged = cls.__new__(cls)
+        merged._keys = [key for part in parts for key in part.keys]
+        merged._data = [data for part in parts for data in part.data]
+        merged._parent = None
+        merged._rows = None
+        merged.matrix = matrix
+        merged.lengths = lengths
+        merged.cache = {}
+        merged._matrix64 = None
+        return merged
+
 
 BatchLike = Union[KeyBatch, Sequence[Key]]
 
@@ -622,6 +661,18 @@ def batch_primitive_for(
     return _BY_CALLABLE.get(primitive)
 
 
+#: A sub-batch may answer a primitive by slicing its parent's pass.  When the
+#: parent has no cached pass yet, computing it there eagerly is still the
+#: right call while the parent stays window-sized: the Python column loop
+#: dominates at that scale and costs the same however many rows ride along,
+#: and sibling sub-batches (shard groups of one serving window) then slice
+#: the same pass for free.  Past this row count the per-row work dominates,
+#: so a take from a large batch hashes only its own rows — which preserves
+#: the short-circuit savings of probes that progressively narrow a big
+#: batch (see ``BloomFilter._probe_batch``).
+_PARENT_EAGER_ROWS = 4096
+
+
 def hash_batch(primitive: Callable[[bytes], int], batch: KeyBatch):
     """Hash every key in ``batch`` with ``primitive`` as one uint64 vector.
 
@@ -631,19 +682,31 @@ def hash_batch(primitive: Callable[[bytes], int], batch: KeyBatch):
     engine stages that derive several values from one primitive pass (Xor
     slots + fingerprints, WBF base/step, double-hashing bases) hash each key
     once per batch.
+
+    Sub-batches made with :meth:`KeyBatch.take` reuse their parent's pass by
+    row-slicing it (hash values are per-key, so slicing is exact).  This is
+    what makes sharded serving windows affordable: the router and N shard
+    filters together pay one column-loop pass per primitive for the whole
+    window instead of one per shard.
     """
     cache_key = ("primitive", primitive)
     values = batch.cache.get(cache_key)
     if values is not None:
         return values
-    vectorized = _BY_CALLABLE.get(primitive)
-    if vectorized is not None:
-        values = vectorized(batch)
+    parent = batch._parent
+    if parent is not None and (
+        cache_key in parent.cache or len(parent) <= _PARENT_EAGER_ROWS
+    ):
+        values = hash_batch(primitive, parent)[batch._rows]
     else:
-        values = np.fromiter(
-            ((primitive(d) & _MASK64) for d in batch.data),
-            dtype=np.uint64,
-            count=len(batch),
-        )
+        vectorized = _BY_CALLABLE.get(primitive)
+        if vectorized is not None:
+            values = vectorized(batch)
+        else:
+            values = np.fromiter(
+                ((primitive(d) & _MASK64) for d in batch.data),
+                dtype=np.uint64,
+                count=len(batch),
+            )
     batch.cache[cache_key] = values
     return values

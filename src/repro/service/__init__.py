@@ -15,11 +15,16 @@ blacklist-gateway / LSM read-path setting the paper motivates:
   keys across N independently-built filters and answers batches by grouping
   keys per shard.
 * :mod:`repro.service.server` — :class:`MembershipService`, a
-  generation-versioned serving front end with atomic hot-swap rebuilds and
+  generation-versioned serving core with atomic hot-swap rebuilds and
   latency-percentile statistics.
+* :mod:`repro.service.aserve` — the asyncio front-end:
+  :class:`AdaptiveMicroBatcher` coalesces concurrent callers into engine
+  batches and :class:`AsyncMembershipServer` exposes TCP/HTTP protocols on
+  top of it (see ``docs/SERVING.md``).
 * :mod:`repro.service.stats` — the stats dataclasses shared by the above.
 """
 
+from repro.service.aserve import AdaptiveMicroBatcher, AsyncMembershipServer
 from repro.service.backends import (
     available_backends,
     get_backend,
@@ -27,13 +32,22 @@ from repro.service.backends import (
     resolve_backend,
 )
 from repro.service.codec import CODEC_VERSION, FRAME_MAGIC, dump, dumps, load, loads
-from repro.service.server import MembershipService, Snapshot
+from repro.service.server import BatchAnswer, MembershipService, Snapshot
 from repro.service.shards import EmptyShardFilter, ShardRouter, ShardedFilterStore
-from repro.service.stats import LatencyWindow, ServiceStats, ShardStats
+from repro.service.stats import (
+    LatencyWindow,
+    MicroBatchStats,
+    ServiceStats,
+    ShardStats,
+)
 
 __all__ = [
     "MembershipService",
     "Snapshot",
+    "BatchAnswer",
+    "AdaptiveMicroBatcher",
+    "AsyncMembershipServer",
+    "MicroBatchStats",
     "ShardedFilterStore",
     "ShardRouter",
     "EmptyShardFilter",

@@ -1,0 +1,655 @@
+"""Asyncio serving front-end with adaptive micro-batching.
+
+The batch engine (PR 2/3) answers a 10^5-key batch 4–14x faster than the
+scalar loop, but a network front-end only sees that speedup if concurrent
+scalar requests actually reach the engine *as batches*.  This module closes
+that gap with three pieces, all stdlib-only:
+
+* :class:`AdaptiveMicroBatcher` — a coalescing queue in front of
+  :meth:`~repro.service.server.MembershipService.query_batch`.  Concurrent
+  ``await front.query(key)`` calls park on futures; a single flusher task
+  collects a window of up to ``max_batch`` keys, dispatches the whole window
+  as one engine call on a worker thread, and resolves every waiter with its
+  verdict plus the generation that answered.  The window deadline *adapts*
+  to the observed arrival rate (see below).
+* :class:`AsyncMembershipServer` — a plain TCP line protocol plus an
+  optional minimal HTTP/1.1 handler, both feeding the micro-batcher, so any
+  number of connections share one engine dispatch stream.
+* :class:`repro.service.stats.MicroBatchStats` — batch-size / wait-time /
+  queue-depth percentiles surfaced through ``stats()`` next to the service's
+  own counters.
+
+Window policy (the "adaptive" part)
+-----------------------------------
+
+A window opens at the first pending key and closes at the earliest of:
+
+1. **full** — the window holds ``max_batch`` keys;
+2. **adaptive deadline** — the projected time to fill ``max_batch`` at the
+   EWMA arrival rate, clamped to ``[min_wait_ms, max_wait_ms]``.  Dense
+   traffic shortens the deadline (no reason to wait — the batch fills
+   anyway); sparse traffic is capped at ``max_wait_ms`` so a lonely key
+   never waits longer than a few milliseconds;
+3. **quiet queue** — a scheduler tick passes with no new arrivals and at
+   least ``min_wait_ms`` has elapsed.  Closed-loop callers (each awaiting
+   its answer before sending the next key) would otherwise pay the full
+   deadline for nothing: once every in-flight caller has enqueued, waiting
+   longer cannot grow the window.
+
+Generation consistency: the flusher hands the whole window to
+``query_batch``, which reads the snapshot reference exactly once — so a
+window never straddles a hot rebuild, and every waiter learns which
+generation answered it.
+
+Concurrency model: all batcher state is touched only from the event-loop
+thread; the engine dispatch runs on a single worker thread, so new arrivals
+keep coalescing while a batch is being answered (pipelining).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import urllib.parse
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.hashing import vectorized as vec
+from repro.hashing.base import Key
+from repro.service.server import BatchAnswer, MembershipService
+from repro.service.stats import LatencyWindow, MicroBatchStats, ServiceStats
+
+__all__ = ["AdaptiveMicroBatcher", "AsyncMembershipServer"]
+
+#: Floor used when converting a near-instant window into an arrival rate, so
+#: one burst that coalesced in microseconds does not produce an absurd EWMA.
+_MIN_WINDOW_SECONDS = 50e-6
+#: EWMA smoothing factor for the arrival-rate estimate.
+_RATE_SMOOTHING = 0.3
+
+
+class _Span:
+    """One caller's request inside a flush window: keys + the waiting future.
+
+    Multi-key requests stay contiguous — a span is never split across two
+    windows, so every request is answered by exactly one generation.  Spans
+    that arrive with numpy available carry their :class:`~repro.hashing.\
+vectorized.KeyBatch` encoding, which the flusher reuses via
+    ``KeyBatch.concat`` instead of re-normalising the keys.
+    """
+
+    __slots__ = ("keys", "future", "batch")
+
+    def __init__(self, keys: List[Key], future: "asyncio.Future", batch=None) -> None:
+        self.keys = keys
+        self.future = future
+        self.batch = batch
+
+
+class AdaptiveMicroBatcher:
+    """Coalesce concurrent membership queries into engine-sized batches.
+
+    Args:
+        service: The :class:`~repro.service.server.MembershipService` to
+            dispatch against (must be loaded before the first query).
+        max_batch: Window size cap; also the bypass threshold — a single
+            ``query_many`` request of at least this many keys is already a
+            full batch and dispatches directly, skipping the queue.
+        max_wait_ms: Hard cap on how long a window may stay open.
+        min_wait_ms: Floor on the window (0 = flush as soon as the queue
+            goes quiet; raise it to trade latency for larger batches under
+            sparse open-loop traffic).
+        executor: Worker pool for engine dispatches.  Defaults to a private
+            single thread (dispatches are serialized; the GIL makes more
+            threads pointless for this CPU-bound work).
+        stats_window: Samples kept for each percentile distribution.
+
+    Use as an async context manager, or call :meth:`aclose` explicitly; the
+    flusher task starts lazily on the first query.
+    """
+
+    def __init__(
+        self,
+        service: MembershipService,
+        max_batch: int = 256,
+        max_wait_ms: float = 2.0,
+        min_wait_ms: float = 0.0,
+        executor: Optional[ThreadPoolExecutor] = None,
+        stats_window: int = 4096,
+    ) -> None:
+        if max_batch < 1:
+            raise ConfigurationError("max_batch must be at least 1")
+        service_cap = getattr(service, "max_batch_size", None)
+        if service_cap is not None and max_batch > service_cap:
+            raise ConfigurationError(
+                f"max_batch={max_batch} exceeds the service's max_batch_size="
+                f"{service_cap}; the service would reject every full window"
+            )
+        if min_wait_ms < 0 or max_wait_ms < min_wait_ms:
+            raise ConfigurationError("need 0 <= min_wait_ms <= max_wait_ms")
+        self._service = service
+        self._max_batch = max_batch
+        self._max_wait = max_wait_ms / 1e3
+        self._min_wait = min_wait_ms / 1e3
+        self._owns_executor = executor is None
+        self._executor = executor or ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="aserve-dispatch"
+        )
+        self._spans: Deque[_Span] = deque()
+        self._pending_keys = 0
+        self._arrivals = 0
+        self._rate_ewma = 0.0
+        self._closed = False
+        self._flusher: Optional[asyncio.Task] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._more: Optional[asyncio.Event] = None
+        # Counters + distributions (event-loop thread only).
+        self._flushes = 0
+        self._full_flushes = 0
+        self._timer_flushes = 0
+        self._empty_flushes = 0
+        self._coalesced_keys = 0
+        self._bypassed_batches = 0
+        self._cancelled_callers = 0
+        self._batch_sizes = LatencyWindow(stats_window)
+        self._waits = LatencyWindow(stats_window)
+        self._depths = LatencyWindow(stats_window)
+
+    # ------------------------------------------------------------------ #
+    # Public query surface
+    # ------------------------------------------------------------------ #
+    @property
+    def service(self) -> MembershipService:
+        """The wrapped service (shared, not copied)."""
+        return self._service
+
+    @property
+    def max_batch(self) -> int:
+        """Window size cap / direct-dispatch threshold."""
+        return self._max_batch
+
+    @property
+    def current_wait_seconds(self) -> float:
+        """The adaptive window deadline right now (see module docstring)."""
+        if self._rate_ewma <= 0.0:
+            return self._max_wait
+        expected_fill = self._max_batch / self._rate_ewma
+        return min(self._max_wait, max(self._min_wait, expected_fill))
+
+    async def query(self, key: Key) -> bool:
+        """Membership test for one key, answered from a coalesced window."""
+        verdicts, _generation = await self._submit([key])
+        return verdicts[0]
+
+    async def query_with_generation(self, key: Key) -> Tuple[bool, int]:
+        """Like :meth:`query`, also reporting the generation that answered."""
+        verdicts, generation = await self._submit([key])
+        return verdicts[0], generation
+
+    async def query_many(self, keys: Sequence[Key]) -> List[bool]:
+        """Batch membership test, in input order (one generation per call)."""
+        verdicts, _generation = await self.query_many_with_generation(keys)
+        return verdicts
+
+    async def query_many_with_generation(
+        self, keys: Sequence[Key]
+    ) -> Tuple[List[bool], int]:
+        """Like :meth:`query_many`, also reporting the answering generation.
+
+        Requests of at least ``max_batch`` keys are already engine-sized and
+        bypass the coalescing queue entirely.
+        """
+        keys = list(keys)
+        if not keys:
+            raise ServiceError("batch of 0 keys rejected; coalesce needs at least 1")
+        if len(keys) >= self._max_batch:
+            self._ensure_open()
+            answer = await self._dispatch(keys)
+            self._bypassed_batches += 1
+            return answer.verdicts, answer.generation
+        batch = vec.KeyBatch(keys) if vec.numpy_or_none() is not None else None
+        return await self._submit(keys, batch)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def __aenter__(self) -> "AdaptiveMicroBatcher":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        """Flush every pending waiter, stop the flusher, release the executor."""
+        self._closed = True
+        if self._wake is not None:
+            self._wake.set()
+        if self._flusher is not None:
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._flusher
+            self._flusher = None
+        if self._owns_executor:
+            self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def batching_stats(self) -> MicroBatchStats:
+        """Point-in-time micro-batcher counters and distributions."""
+        return MicroBatchStats(
+            flushes=self._flushes,
+            full_flushes=self._full_flushes,
+            timer_flushes=self._timer_flushes,
+            empty_flushes=self._empty_flushes,
+            coalesced_keys=self._coalesced_keys,
+            bypassed_batches=self._bypassed_batches,
+            cancelled_callers=self._cancelled_callers,
+            current_wait_ms=self.current_wait_seconds * 1e3,
+            batch_size=self._batch_sizes.percentiles(),
+            wait=self._waits.percentiles(),
+            queue_depth=self._depths.percentiles(),
+        )
+
+    def stats(self) -> ServiceStats:
+        """The wrapped service's stats with :class:`MicroBatchStats` attached."""
+        stats = self._service.stats()
+        stats.batching = self.batching_stats()
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Internals (event-loop thread only)
+    # ------------------------------------------------------------------ #
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServiceError("the micro-batcher is closed")
+
+    def _ensure_flusher(self) -> None:
+        self._ensure_open()
+        if self._flusher is None or self._flusher.done():
+            self._wake = asyncio.Event()
+            self._more = asyncio.Event()
+            self._flusher = asyncio.get_running_loop().create_task(
+                self._run(), name="aserve-flusher"
+            )
+
+    async def _submit(self, keys: List[Key], batch=None) -> Tuple[List[bool], int]:
+        self._ensure_flusher()
+        future = asyncio.get_running_loop().create_future()
+        self._spans.append(_Span(keys, future, batch))
+        self._pending_keys += len(keys)
+        self._arrivals += 1
+        self._depths.record(float(self._pending_keys))
+        self._wake.set()
+        self._more.set()
+        return await future
+
+    async def _dispatch(self, request) -> BatchAnswer:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, self._service.query_batch, request
+        )
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if self._closed and not self._spans:
+                break
+            await self._wake.wait()
+            if self._closed and not self._spans:
+                break
+            window_start = loop.time()
+            if not self._closed:
+                await self._collect_window(loop, window_start)
+            await self._flush(loop.time() - window_start)
+
+    async def _collect_window(self, loop, window_start: float) -> None:
+        """Hold the window open per the policy in the module docstring."""
+        deadline = window_start + self.current_wait_seconds
+        min_deadline = window_start + self._min_wait
+        while not self._closed and self._pending_keys < self._max_batch:
+            now = loop.time()
+            if now >= deadline:
+                break
+            arrivals_before = self._arrivals
+            self._more.clear()
+            # One scheduler tick: let every ready caller enqueue.
+            await asyncio.sleep(0)
+            if self._arrivals != arrivals_before:
+                continue  # still draining a burst
+            now = loop.time()
+            if now >= min_deadline:
+                break  # quiet queue past the window floor: flush now
+            # Quiet but inside the floor: park until an arrival or the floor
+            # elapses (deadline >= min_deadline always, by the clamp above).
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(self._more.wait(), timeout=min_deadline - now)
+
+    async def _flush(self, waited_seconds: float) -> None:
+        spans: List[_Span] = []
+        taken_keys = 0
+        while self._spans:
+            span = self._spans[0]
+            if spans and taken_keys + len(span.keys) > self._max_batch:
+                break  # next span starts the following window, intact
+            self._spans.popleft()
+            self._pending_keys -= len(span.keys)
+            if span.future.cancelled():
+                self._cancelled_callers += 1
+                continue
+            spans.append(span)
+            taken_keys += len(span.keys)
+        if not self._spans and not self._closed:
+            self._wake.clear()
+        if not spans:
+            self._empty_flushes += 1
+            return
+        instant_rate = taken_keys / max(waited_seconds, _MIN_WINDOW_SECONDS)
+        if self._rate_ewma <= 0.0:
+            self._rate_ewma = instant_rate
+        else:
+            self._rate_ewma += _RATE_SMOOTHING * (instant_rate - self._rate_ewma)
+        try:
+            answer = await self._dispatch(self._assemble(spans))
+        except Exception as exc:  # ServiceError (no snapshot yet) included
+            for span in spans:
+                if not span.future.done():
+                    span.future.set_exception(exc)
+            return
+        self._flushes += 1
+        self._coalesced_keys += taken_keys
+        if taken_keys >= self._max_batch:
+            self._full_flushes += 1
+        else:
+            self._timer_flushes += 1
+        self._batch_sizes.record(float(taken_keys))
+        self._waits.record(waited_seconds)
+        offset = 0
+        for span in spans:
+            count = len(span.keys)
+            if span.future.cancelled():
+                self._cancelled_callers += 1
+            else:
+                span.future.set_result(
+                    (answer.verdicts[offset : offset + count], answer.generation)
+                )
+            offset += count
+
+    def _assemble(self, spans: List[_Span]):
+        """Build the engine request for a window, reusing span encodings."""
+        if vec.numpy_or_none() is None:
+            return [key for span in spans for key in span.keys]
+        parts: List[vec.KeyBatch] = []
+        pending: List[Key] = []
+        for span in spans:
+            if span.batch is not None:
+                if pending:
+                    parts.append(vec.KeyBatch(pending))
+                    pending = []
+                parts.append(span.batch)
+            else:
+                pending.extend(span.keys)
+        if pending:
+            parts.append(vec.KeyBatch(pending))
+        return parts[0] if len(parts) == 1 else vec.KeyBatch.concat(parts)
+
+
+# --------------------------------------------------------------------- #
+# Network front-ends
+# --------------------------------------------------------------------- #
+_HTTP_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found", 413: "Payload Too Large"}
+#: Largest request body the HTTP handler will buffer.  Generous for any sane
+#: query_many batch (the service's own max_batch_size rejects oversized key
+#: counts), while bounding what one connection can make the process hold.
+_HTTP_MAX_BODY_BYTES = 1 << 20
+#: Stream buffer limit for both listeners.  asyncio's default readline limit
+#: is 64 KiB, which a legitimate multi-key ``M`` line can exceed; this cap
+#: bounds one line/body at the same size the HTTP handler accepts.
+_STREAM_LIMIT_BYTES = _HTTP_MAX_BODY_BYTES
+
+
+class AsyncMembershipServer:
+    """TCP (and optional HTTP/1.1) membership serving over a micro-batcher.
+
+    Every connection's requests feed the same :class:`AdaptiveMicroBatcher`,
+    so concurrent clients coalesce into shared engine batches.  Both
+    protocols are specified in ``docs/SERVING.md``; in short:
+
+    TCP line protocol (UTF-8, newline-terminated, whitespace-delimited keys)::
+
+        Q <key>              -> V <generation> <0|1>
+        M <key> <key> ...    -> V <generation> <0|1> <0|1> ...
+        GEN                  -> G <generation>
+        STATS                -> S <one-line JSON of ServiceStats>
+        PING                 -> PONG
+        anything invalid     -> E <message>
+
+    HTTP endpoints (JSON responses, ``Connection: close``)::
+
+        GET  /query?key=K        GET /generation      GET /stats
+        POST /query_many         (body: JSON list or newline-delimited keys)
+
+    Args:
+        service: The loaded service to serve.
+        batcher: An existing micro-batcher to share; by default a private
+            one is created from ``**batcher_opts``.
+        **batcher_opts: Forwarded to :class:`AdaptiveMicroBatcher`.
+    """
+
+    def __init__(
+        self,
+        service: MembershipService,
+        batcher: Optional[AdaptiveMicroBatcher] = None,
+        **batcher_opts,
+    ) -> None:
+        self._service = service
+        self._owns_batcher = batcher is None
+        self._batcher = batcher or AdaptiveMicroBatcher(service, **batcher_opts)
+        self._servers: List[asyncio.AbstractServer] = []
+        self._connections: set = set()
+
+    @property
+    def batcher(self) -> AdaptiveMicroBatcher:
+        """The micro-batcher every connection dispatches through."""
+        return self._batcher
+
+    async def start_tcp(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Start the line-protocol listener; returns the bound (host, port)."""
+        server = await asyncio.start_server(
+            self._handle_tcp, host, port, limit=_STREAM_LIMIT_BYTES
+        )
+        self._servers.append(server)
+        bound = server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def start_http(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Start the HTTP/1.1 listener; returns the bound (host, port)."""
+        server = await asyncio.start_server(
+            self._handle_http, host, port, limit=_STREAM_LIMIT_BYTES
+        )
+        self._servers.append(server)
+        bound = server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def __aenter__(self) -> "AsyncMembershipServer":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        """Stop the listeners, then drain and close the micro-batcher.
+
+        A batcher passed in by the caller is shared, not owned: it keeps
+        serving in-process callers after the network front-end shuts down.
+        """
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        self._servers.clear()
+        # Python < 3.12 wait_closed() does not wait for handler tasks; close
+        # lingering connections explicitly so none outlive the batcher.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+        if self._owns_batcher:
+            await self._batcher.aclose()
+
+    def _track_connection(self) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+
+    # ------------------------------------------------------------------ #
+    # TCP line protocol
+    # ------------------------------------------------------------------ #
+    async def _handle_tcp(self, reader, writer) -> None:
+        self._track_connection()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line overran the stream limit; the buffered remainder is
+                    # unusable, so answer with an error and drop the peer.
+                    writer.write(
+                        f"E line exceeds {_STREAM_LIMIT_BYTES} bytes\n".encode()
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                try:
+                    response = await self._dispatch_line(
+                        line.decode("utf-8", errors="replace").strip()
+                    )
+                except ServiceError as exc:
+                    response = "E " + " ".join(str(exc).split())
+                if response is None:
+                    continue
+                writer.write(response.encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        except asyncio.CancelledError:
+            pass  # server shutdown; ending quietly keeps 3.11 streams silent
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _dispatch_line(self, line: str) -> Optional[str]:
+        if not line:
+            return None
+        parts = line.split()
+        command = parts[0].upper()
+        if command == "PING":
+            return "PONG"
+        if command == "GEN":
+            return f"G {self._service.generation}"
+        if command == "STATS":
+            return "S " + json.dumps(asdict(self._batcher.stats()))
+        if command == "Q":
+            if len(parts) != 2:
+                return "E Q takes exactly one key"
+            verdict, generation = await self._batcher.query_with_generation(parts[1])
+            return f"V {generation} {int(verdict)}"
+        if command == "M":
+            if len(parts) < 2:
+                return "E M takes at least one key"
+            verdicts, generation = await self._batcher.query_many_with_generation(
+                parts[1:]
+            )
+            return f"V {generation} " + " ".join(str(int(v)) for v in verdicts)
+        return f"E unknown command {parts[0]!r}"
+
+    # ------------------------------------------------------------------ #
+    # Minimal HTTP/1.1
+    # ------------------------------------------------------------------ #
+    async def _handle_http(self, reader, writer) -> None:
+        self._track_connection()
+        try:
+            request_line = await reader.readline()
+            pieces = request_line.decode("latin-1").split()
+            if len(pieces) < 2:
+                return
+            method, target = pieces[0].upper(), pieces[1]
+            content_length = 0
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = header.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    with contextlib.suppress(ValueError):
+                        content_length = int(value.strip())
+            if content_length < 0:
+                status, payload = 400, {"error": "negative Content-Length"}
+            elif content_length > _HTTP_MAX_BODY_BYTES:
+                status, payload = 413, {
+                    "error": f"request body exceeds {_HTTP_MAX_BODY_BYTES} bytes"
+                }
+            else:
+                body = (
+                    await reader.readexactly(content_length) if content_length else b""
+                )
+                status, payload = await self._http_response(method, target, body)
+            data = json.dumps(payload).encode("utf-8")
+            head = (
+                f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'OK')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(data)}\r\n"
+                f"Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + data)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass  # pragma: no cover - torn-down connection
+        except asyncio.CancelledError:
+            pass  # server shutdown; ending quietly keeps 3.11 streams silent
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _http_response(self, method: str, target: str, body: bytes):
+        path, _, query = target.partition("?")
+        try:
+            if method == "GET" and path == "/query":
+                values = urllib.parse.parse_qs(query).get("key", [])
+                if len(values) != 1:
+                    return 400, {"error": "exactly one ?key= parameter required"}
+                verdict, generation = await self._batcher.query_with_generation(
+                    values[0]
+                )
+                return 200, {
+                    "key": values[0],
+                    "member": verdict,
+                    "generation": generation,
+                }
+            if method == "GET" and path == "/generation":
+                return 200, {"generation": self._service.generation}
+            if method == "GET" and path == "/stats":
+                return 200, asdict(self._batcher.stats())
+            if method == "POST" and path == "/query_many":
+                text = body.decode("utf-8", errors="replace").strip()
+                if text.startswith("["):
+                    keys = [str(key) for key in json.loads(text)]
+                else:
+                    keys = [line for line in text.splitlines() if line]
+                if not keys:
+                    return 400, {"error": "request body contained no keys"}
+                verdicts, generation = await self._batcher.query_many_with_generation(
+                    keys
+                )
+                return 200, {"members": verdicts, "generation": generation}
+        except (ServiceError, json.JSONDecodeError) as exc:
+            return 400, {"error": str(exc)}
+        return 404, {"error": f"no route for {method} {path}"}

@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Union
 from repro.errors import ConfigurationError
 from repro.kvstore.filter_policy import (
     BloomFilterPolicy,
+    DoubleHashBloomFilterPolicy,
     FastHABFFilterPolicy,
     FilterPolicy,
     HABFFilterPolicy,
@@ -84,4 +85,5 @@ def resolve_backend(spec: BackendSpec, **kwargs) -> FilterPolicy:
 register_backend("habf", HABFFilterPolicy)
 register_backend("f-habf", FastHABFFilterPolicy)
 register_backend("bloom", BloomFilterPolicy)
+register_backend("bloom-dh", DoubleHashBloomFilterPolicy)
 register_backend("xor", XorFilterPolicy)

@@ -11,6 +11,11 @@ full, never a half-built store.
 The blacklist-gateway deployment the paper motivates maps directly onto this:
 the blacklist is re-fetched periodically, a new generation is built from it,
 and the gateway never stops filtering while that happens.
+
+Network-concurrent callers should not talk to this class one key at a time:
+:mod:`repro.service.aserve` wraps it in an asyncio front-end whose adaptive
+micro-batcher coalesces concurrent scalar queries into :meth:`query_batch`
+windows, converting the batch engine's speedup into serving throughput.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from dataclasses import dataclass
 from typing import List, Mapping, Optional, Sequence
 
 from repro.errors import ServiceError
+from repro.hashing import vectorized as vec
 from repro.hashing.base import Key
 from repro.metrics.timing import latency_percentiles
 from repro.service import codec
@@ -42,6 +48,30 @@ class Snapshot:
     generation: int
     store: ShardedFilterStore
     num_keys: int
+
+
+@dataclass(frozen=True)
+class BatchAnswer:
+    """The result of one :meth:`MembershipService.query_batch` dispatch.
+
+    The serving layer needs more than the verdict vector: the asyncio
+    micro-batcher resolves every waiter in a flush window with the generation
+    that actually answered, so callers can observe that their window never
+    straddled a hot rebuild.
+
+    Attributes:
+        verdicts: One membership verdict per key, in input order.
+        generation: The snapshot generation every verdict was answered from
+            (read once per dispatch — a batch sees exactly one generation).
+        elapsed_seconds: Wall-clock time the store spent on the batch.
+    """
+
+    verdicts: List[bool]
+    generation: int
+    elapsed_seconds: float
+
+    def __len__(self) -> int:
+        return len(self.verdicts)
 
 
 class MembershipService:
@@ -197,8 +227,26 @@ class MembershipService:
             ServiceError: for empty or oversized batches (counted in
                 ``rejected_batches``); the service state is unchanged.
         """
-        keys = list(keys)
-        if not keys or len(keys) > self._max_batch_size:
+        return self.query_batch(keys).verdicts
+
+    def query_batch(self, keys: "vec.BatchLike") -> BatchAnswer:
+        """Like :meth:`query_many`, but reports which generation answered.
+
+        This is the dispatch point of the asyncio front-end
+        (:mod:`repro.service.aserve`): the snapshot reference is read exactly
+        once, so the whole batch is answered by one generation even if a hot
+        rebuild swaps the snapshot mid-flight.  ``keys`` may be an
+        already-encoded :class:`~repro.hashing.vectorized.KeyBatch` (the
+        micro-batcher encodes its flush window up front and the encoding is
+        reused all the way down to the shard filters).
+
+        Raises:
+            ServiceError: for empty or oversized batches (counted in
+                ``rejected_batches``); the service state is unchanged.
+        """
+        if not isinstance(keys, vec.KeyBatch):
+            keys = list(keys)
+        if not len(keys) or len(keys) > self._max_batch_size:
             with self._stats_lock:
                 self._rejected_batches += 1
             raise ServiceError(
@@ -214,7 +262,9 @@ class MembershipService:
             self._batches += 1
             self._positives += sum(answers)
             self._latency.record(elapsed / len(keys))
-        return answers
+        return BatchAnswer(
+            verdicts=answers, generation=snapshot.generation, elapsed_seconds=elapsed
+        )
 
     def __contains__(self, key: Key) -> bool:
         return self.query(key)
@@ -227,6 +277,11 @@ class MembershipService:
         """Generation currently serving (0 before the first load)."""
         snapshot = self._snapshot
         return snapshot.generation if snapshot else 0
+
+    @property
+    def max_batch_size(self) -> int:
+        """Largest batch :meth:`query_many`/:meth:`query_batch` accepts."""
+        return self._max_batch_size
 
     @property
     def snapshot(self) -> Optional[Snapshot]:

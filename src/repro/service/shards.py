@@ -259,19 +259,28 @@ class ShardedFilterStore:
                 stats.positives += 1
         return answer
 
-    def query_many(self, keys: Sequence[Key]) -> List[bool]:
+    def query_many(self, keys: "vec.BatchLike") -> List[bool]:
         """Batch membership test, in input order.
 
         With numpy available the whole batch is encoded once, the shard
         partition is one vectorized router pass, and each shard's group is
         answered with one engine call (sharing the encoded sub-batch with the
-        filter's array program).  Without numpy, keys are grouped per shard
-        and answered through each filter's ``contains_many`` fallback.
+        filter's array program).  Callers that already hold an encoded
+        :class:`~repro.hashing.vectorized.KeyBatch` (the asyncio
+        micro-batcher encodes its flush window before dispatch) may pass it
+        directly and the encoding is reused.  Without numpy, keys are grouped
+        per shard and answered through each filter's ``contains_many``
+        fallback.
         """
-        keys = list(keys)
         np = vec.numpy_or_none()
-        if np is not None and keys:
-            return self._query_many_vectorized(np, keys)
+        if isinstance(keys, vec.KeyBatch):
+            if np is not None and len(keys):
+                return self._query_many_vectorized(np, keys)
+            keys = list(keys.keys)
+        else:
+            keys = list(keys)
+            if np is not None and keys:
+                return self._query_many_vectorized(np, vec.KeyBatch(keys))
         results: List[bool] = [False] * len(keys)
         groups: dict = {}
         for position, key in enumerate(keys):
@@ -295,11 +304,10 @@ class ShardedFilterStore:
                 stats.positives += hits
         return results
 
-    def _query_many_vectorized(self, np, keys: List[Key]) -> List[bool]:
+    def _query_many_vectorized(self, np, batch: "vec.KeyBatch") -> List[bool]:
         """Engine path of :meth:`query_many`: one partition, one gather."""
-        batch = vec.KeyBatch(keys)
         shards = self._router.shard_of_many(batch)
-        results = np.zeros(len(keys), dtype=bool)
+        results = np.zeros(len(batch), dtype=bool)
         for shard in np.unique(shards):
             positions = np.flatnonzero(shards == shard)
             filt = self._filters[int(shard)]

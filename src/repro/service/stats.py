@@ -34,6 +34,47 @@ class ShardStats:
 
 
 @dataclass
+class MicroBatchStats:
+    """Counters and distributions for an adaptive serving micro-batcher.
+
+    Produced by :meth:`repro.service.aserve.AdaptiveMicroBatcher.batching_stats`
+    and attached to :class:`ServiceStats` by the front-end's ``stats()``.
+
+    Attributes:
+        flushes: Windows dispatched to the engine (excludes empty windows).
+        full_flushes: Windows closed because they reached ``max_batch`` keys.
+        timer_flushes: Windows closed by the adaptive deadline or quiet queue.
+        empty_flushes: Windows whose every waiter was cancelled before
+            dispatch (nothing reached the engine).
+        coalesced_keys: Keys answered through dispatched windows.
+        bypassed_batches: Multi-key requests at least ``max_batch`` keys
+            large that skipped the queue and dispatched directly.
+        cancelled_callers: Waiters dropped because their future was cancelled.
+        current_wait_ms: The adaptive window deadline at snapshot time, in
+            milliseconds (``max_batch`` divided by the EWMA arrival rate,
+            clamped to ``[min_wait_ms, max_wait_ms]``).
+        batch_size: Percentiles over keys-per-dispatched-window, or ``None``
+            before the first dispatch.
+        wait: Percentiles over how long windows stayed open (seconds), or
+            ``None`` before the first dispatch.
+        queue_depth: Percentiles over pending keys observed at enqueue time,
+            or ``None`` before the first enqueue.
+    """
+
+    flushes: int
+    full_flushes: int
+    timer_flushes: int
+    empty_flushes: int
+    coalesced_keys: int
+    bypassed_batches: int
+    cancelled_callers: int
+    current_wait_ms: float
+    batch_size: Optional[LatencyPercentiles] = None
+    wait: Optional[LatencyPercentiles] = None
+    queue_depth: Optional[LatencyPercentiles] = None
+
+
+@dataclass
 class ServiceStats:
     """A point-in-time snapshot of a :class:`~repro.service.server.MembershipService`.
 
@@ -41,7 +82,7 @@ class ServiceStats:
         generation: Generation number of the snapshot currently serving.
         num_keys: Positive keys in the serving snapshot.
         queries: Total keys tested (scalar and batch combined).
-        batches: ``query_many`` calls accepted.
+        batches: ``query_many``/``query_batch`` calls accepted.
         rejected_batches: ``query_many`` calls refused (oversized or empty).
         positives: Tests answered "present".
         rebuilds: Completed hot rebuilds (generation swaps after the first load).
@@ -49,6 +90,8 @@ class ServiceStats:
         latency: Percentile summary of recent latency samples (scalar calls
             are true per-key latencies; each batch contributes its per-key
             average as one sample), or ``None`` before the first query.
+        batching: Micro-batcher counters when the snapshot was taken through
+            an async front-end's ``stats()``; ``None`` for a bare service.
     """
 
     generation: int
@@ -60,6 +103,7 @@ class ServiceStats:
     rebuilds: int
     shards: List[ShardStats] = field(default_factory=list)
     latency: Optional[LatencyPercentiles] = None
+    batching: Optional[MicroBatchStats] = None
 
 
 class LatencyWindow:

@@ -28,4 +28,4 @@ def test_documented_examples_run(path):
 
 def test_docs_are_discovered():
     names = {path.name for path in DOCUMENTS}
-    assert {"README.md", "ARCHITECTURE.md", "API.md"} <= names
+    assert {"README.md", "ARCHITECTURE.md", "API.md", "SERVING.md"} <= names

@@ -116,3 +116,37 @@ def test_hash_batch_falls_back_to_scalar_for_unknown_primitive(tiny_keys):
 
     function = HashFunction(name="custom", index=0, primitive=custom)
     assert function.hash_many(tiny_keys).tolist() == [function.raw(k) for k in tiny_keys]
+
+
+def test_key_batch_concat_matches_fresh_encoding():
+    """concat of pre-encoded parts equals encoding all keys in one pass.
+
+    This is the serving micro-batcher's reuse path: multi-key requests are
+    encoded at arrival and merged with the scalar tail at flush time.
+    """
+    groups = [["alpha", "longer-key-here"], [b"\x00\x01", 42], [""], ["tail"]]
+    parts = [vectorized.KeyBatch(group) for group in groups]
+    merged = vectorized.KeyBatch.concat(parts)
+    flat = [key for group in groups for key in group]
+    fresh = vectorized.KeyBatch(flat)
+    assert merged.keys == flat
+    assert merged.data == fresh.data
+    assert merged.matrix.shape == fresh.matrix.shape
+    assert np.array_equal(merged.matrix, fresh.matrix)
+    assert np.array_equal(merged.lengths, fresh.lengths)
+    # Hash programs see identical inputs whichever way the batch was built.
+    for name in ("xxhash", "murmur3"):
+        assert np.array_equal(
+            vectorized.BATCH_PRIMITIVES[name](merged),
+            vectorized.BATCH_PRIMITIVES[name](fresh),
+        )
+
+
+def test_key_batch_concat_edge_cases():
+    single = vectorized.KeyBatch(["only"])
+    assert vectorized.KeyBatch.concat([single]) is single
+    with pytest.raises(ValueError):
+        vectorized.KeyBatch.concat([])
+    with_empty = vectorized.KeyBatch.concat([vectorized.KeyBatch([]), single])
+    assert with_empty.keys == ["only"]
+    assert len(with_empty) == 1

@@ -1,0 +1,458 @@
+"""Asyncio front-end: coalescing, window edges, generations, protocols.
+
+Covers the micro-batcher edge cases the serving layer must survive:
+empty-window flushes (every waiter cancelled), windows split at
+``max_batch`` with spans kept intact, a hot rebuild landing while a batch
+is in flight (the whole window still answers from one generation), and
+cancellation of a parked caller.  The TCP and HTTP handlers are exercised
+over real sockets on an ephemeral port.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.service import MembershipService
+from repro.service.aserve import AdaptiveMicroBatcher, AsyncMembershipServer
+
+POSITIVES = [f"evil-{i}.example" for i in range(300)]
+NEGATIVES = [f"fine-{i}.example" for i in range(300)]
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+@pytest.fixture()
+def service():
+    svc = MembershipService(backend="bloom", num_shards=2, bits_per_key=12.0)
+    svc.load(POSITIVES, NEGATIVES)
+    return svc
+
+
+# --------------------------------------------------------------------- #
+# Coalescing and window policy
+# --------------------------------------------------------------------- #
+def test_concurrent_scalar_queries_coalesce(service):
+    async def scenario():
+        async with AdaptiveMicroBatcher(service, max_batch=128, max_wait_ms=5.0) as front:
+            probe = POSITIVES[:40] + NEGATIVES[:40]
+            answers = await asyncio.gather(*[front.query(key) for key in probe])
+            return answers, front.batching_stats()
+
+    answers, stats = run(scenario())
+    assert answers == [True] * 40 + [False] * 40
+    assert stats.coalesced_keys == 80
+    # 80 concurrent callers must not mean 80 engine dispatches.
+    assert stats.flushes < 40
+    assert stats.batch_size is not None and stats.batch_size.p99 > 1
+    assert stats.queue_depth is not None
+
+
+def test_window_splits_at_max_batch_and_spans_stay_intact(service):
+    async def scenario():
+        async with AdaptiveMicroBatcher(service, max_batch=8, max_wait_ms=20.0) as front:
+            scalar = [front.query(key) for key in POSITIVES[:20]]
+            span = front.query_many_with_generation(POSITIVES[20:25])
+            results = await asyncio.gather(*scalar, span)
+            return results, front.batching_stats()
+
+    results, stats = run(scenario())
+    *scalars, (span_verdicts, span_generation) = results
+    assert scalars == [True] * 20
+    assert span_verdicts == [True] * 5 and span_generation == 1
+    # 25 keys through windows of <= 8: at least three full windows, and the
+    # batch-size distribution never exceeds max_batch.
+    assert stats.full_flushes >= 1
+    assert stats.flushes >= 4
+    assert stats.batch_size.p99 <= 8
+
+
+def test_oversized_request_bypasses_the_queue(service):
+    async def scenario():
+        async with AdaptiveMicroBatcher(service, max_batch=8, max_wait_ms=1.0) as front:
+            verdicts, generation = await front.query_many_with_generation(POSITIVES[:30])
+            return verdicts, generation, front.batching_stats()
+
+    verdicts, generation, stats = run(scenario())
+    assert verdicts == [True] * 30 and generation == 1
+    assert stats.bypassed_batches == 1
+    assert stats.flushes == 0  # never touched the coalescing queue
+
+
+def test_empty_request_and_closed_batcher_raise(service):
+    async def scenario():
+        front = AdaptiveMicroBatcher(service)
+        with pytest.raises(ServiceError, match="0 keys"):
+            await front.query_many([])
+        await front.aclose()
+        with pytest.raises(ServiceError, match="closed"):
+            await front.query("anything")
+
+    run(scenario())
+    with pytest.raises(ConfigurationError):
+        AdaptiveMicroBatcher(service, max_batch=0)
+    with pytest.raises(ConfigurationError):
+        AdaptiveMicroBatcher(service, max_wait_ms=1.0, min_wait_ms=2.0)
+
+
+def test_adaptive_deadline_tracks_arrival_rate(service):
+    async def scenario():
+        async with AdaptiveMicroBatcher(
+            service, max_batch=64, max_wait_ms=4.0
+        ) as front:
+            before = front.current_wait_seconds
+            for _ in range(6):
+                await asyncio.gather(*[front.query(key) for key in POSITIVES[:50]])
+            return before, front.current_wait_seconds
+
+    before, after = run(scenario())
+    # No traffic yet: the deadline sits at the cap.  Dense bursts pull the
+    # EWMA arrival rate up, which shrinks the projected fill time.
+    assert before == pytest.approx(4.0e-3)
+    assert 0.0 <= after < before
+
+
+# --------------------------------------------------------------------- #
+# Cancellation and empty windows
+# --------------------------------------------------------------------- #
+def test_cancelled_caller_yields_empty_window_flush(service):
+    async def scenario():
+        # A 30 ms window floor parks the flusher long enough to cancel the
+        # only waiter: the flush then sees an all-cancelled window and must
+        # skip the engine without disturbing later traffic.
+        async with AdaptiveMicroBatcher(
+            service, max_batch=16, max_wait_ms=50.0, min_wait_ms=30.0
+        ) as front:
+            doomed = asyncio.ensure_future(front.query(POSITIVES[0]))
+            await asyncio.sleep(0.005)  # let it enqueue and the window open
+            doomed.cancel()
+            await asyncio.sleep(0.08)  # window floor elapses, flush runs
+            stats = front.batching_stats()
+            assert stats.empty_flushes >= 1
+            assert stats.cancelled_callers == 1
+            assert stats.flushes == 0
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            # The batcher is still healthy for live callers.
+            assert await front.query(POSITIVES[1]) is True
+
+    run(scenario())
+
+
+def test_cancelled_caller_among_live_ones_does_not_poison_the_window(service):
+    async def scenario():
+        async with AdaptiveMicroBatcher(
+            service, max_batch=32, max_wait_ms=50.0, min_wait_ms=20.0
+        ) as front:
+            doomed = asyncio.ensure_future(front.query(NEGATIVES[0]))
+            live = [asyncio.ensure_future(front.query(key)) for key in POSITIVES[:5]]
+            await asyncio.sleep(0.005)
+            doomed.cancel()
+            answers = await asyncio.gather(*live)
+            assert answers == [True] * 5
+            stats = front.batching_stats()
+            assert stats.cancelled_callers == 1
+            assert stats.coalesced_keys == 5
+
+    run(scenario())
+
+
+# --------------------------------------------------------------------- #
+# Generation consistency across hot rebuilds
+# --------------------------------------------------------------------- #
+def test_rebuild_during_inflight_batch_keeps_one_generation(service):
+    """A dispatched window answers entirely from the snapshot it started on.
+
+    The generation-1 store is gated on a threading event; while the engine
+    dispatch is blocked inside it, a hot rebuild swaps in generation 2.  The
+    in-flight window must still resolve every waiter with generation 1
+    verdicts (including a key that only generation 1 contains), and traffic
+    after the swap must see generation 2.
+    """
+    gen1_store = service.snapshot.store
+    dispatch_started = threading.Event()
+    release_dispatch = threading.Event()
+    original_query_many = gen1_store.query_many
+
+    def gated_query_many(keys):
+        dispatch_started.set()
+        assert release_dispatch.wait(timeout=10.0)
+        return original_query_many(keys)
+
+    gen1_store.query_many = gated_query_many
+    only_gen1 = POSITIVES[0]
+    refreshed = POSITIVES[1:]  # drop one key so the generations disagree
+
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        async with AdaptiveMicroBatcher(service, max_batch=64, max_wait_ms=1.0) as front:
+            inflight = [
+                asyncio.ensure_future(front.query_with_generation(key))
+                for key in [only_gen1, POSITIVES[1], NEGATIVES[0]]
+            ]
+            await loop.run_in_executor(None, dispatch_started.wait)
+            # The window is inside the gen-1 store now; swap generations.
+            assert service.rebuild(refreshed, NEGATIVES) == 2
+            release_dispatch.set()
+            answers = await asyncio.gather(*inflight)
+            after = await front.query_with_generation(POSITIVES[1])
+            return answers, after
+
+    answers, after = run(scenario())
+    assert answers == [(True, 1), (True, 1), (False, 1)]
+    assert after == (True, 2)
+    assert service.generation == 2
+
+
+# --------------------------------------------------------------------- #
+# Stats plumbing
+# --------------------------------------------------------------------- #
+def test_front_end_stats_extend_service_stats(service):
+    async def scenario():
+        async with AdaptiveMicroBatcher(service, max_batch=32, max_wait_ms=2.0) as front:
+            await asyncio.gather(*[front.query(key) for key in POSITIVES[:10]])
+            return front.stats()
+
+    stats = run(scenario())
+    assert stats.generation == 1
+    assert stats.queries == 10
+    assert stats.batching is not None
+    assert stats.batching.coalesced_keys == 10
+    assert stats.batching.wait is not None
+    assert stats.batching.wait.p50 <= stats.batching.wait.p99
+    assert stats.batching.current_wait_ms <= 2.0
+    # Plain service snapshots stay batching-free.
+    assert service.stats().batching is None
+
+
+def test_query_batch_reports_generation_and_counts(service):
+    answer = service.query_batch([POSITIVES[0], NEGATIVES[0]])
+    assert answer.verdicts == [True, False]
+    assert answer.generation == 1
+    assert len(answer) == 2
+    assert answer.elapsed_seconds >= 0.0
+    with pytest.raises(ServiceError):
+        service.query_batch([])
+
+
+# --------------------------------------------------------------------- #
+# TCP line protocol
+# --------------------------------------------------------------------- #
+def test_tcp_protocol_roundtrip(service):
+    async def scenario():
+        async with AsyncMembershipServer(service, max_wait_ms=1.0) as server:
+            host, port = await server.start_tcp()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                b"PING\nGEN\nQ " + POSITIVES[0].encode() + b"\n"
+                b"M " + POSITIVES[1].encode() + b" " + NEGATIVES[0].encode() + b"\n"
+                b"Q\nNONSENSE\nSTATS\n"
+            )
+            await writer.drain()
+            lines = [await reader.readline() for _ in range(7)]
+            writer.close()
+            return [line.decode().strip() for line in lines]
+
+    pong, gen, scalar, multi, bad_q, unknown, stats = run(scenario())
+    assert pong == "PONG"
+    assert gen == "G 1"
+    assert scalar == "V 1 1"
+    assert multi == "V 1 1 0"
+    assert bad_q.startswith("E ")
+    assert unknown.startswith("E unknown command")
+    assert stats.startswith("S ")
+    decoded = json.loads(stats[2:])
+    assert decoded["generation"] == 1
+    assert decoded["batching"]["coalesced_keys"] >= 3
+
+
+def test_tcp_concurrent_connections_share_one_batcher(service):
+    async def scenario():
+        async with AsyncMembershipServer(service, max_wait_ms=3.0, max_batch=64) as server:
+            host, port = await server.start_tcp()
+
+            async def client(keys):
+                reader, writer = await asyncio.open_connection(host, port)
+                answers = []
+                for key in keys:
+                    writer.write(f"Q {key}\n".encode())
+                    await writer.drain()
+                    answers.append((await reader.readline()).decode().strip())
+                writer.close()
+                return answers
+
+            per_client = [POSITIVES[i::8][:5] for i in range(8)]
+            replies = await asyncio.gather(*[client(keys) for keys in per_client])
+            return replies, server.batcher.batching_stats()
+
+    replies, stats = run(scenario())
+    assert all(reply == ["V 1 1"] * 5 for reply in replies)
+    assert stats.coalesced_keys == 40
+    # Eight connections issuing in lock-step coalesce into shared windows.
+    assert stats.flushes < 40
+
+
+# --------------------------------------------------------------------- #
+# HTTP front-end
+# --------------------------------------------------------------------- #
+async def _http_request(host, port, raw: bytes):
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(raw)
+    await writer.drain()
+    payload = await reader.read()
+    writer.close()
+    head, _, body = payload.partition(b"\r\n\r\n")
+    status = int(head.split()[1])
+    return status, json.loads(body)
+
+
+def test_http_endpoints(service):
+    async def scenario():
+        async with AsyncMembershipServer(service, max_wait_ms=1.0) as server:
+            host, port = await server.start_http()
+            query = await _http_request(
+                host, port,
+                f"GET /query?key={POSITIVES[0]} HTTP/1.1\r\nHost: t\r\n\r\n".encode(),
+            )
+            missing = await _http_request(
+                host, port, b"GET /query HTTP/1.1\r\nHost: t\r\n\r\n"
+            )
+            body = json.dumps([POSITIVES[1], NEGATIVES[0]]).encode()
+            many = await _http_request(
+                host, port,
+                b"POST /query_many HTTP/1.1\r\nHost: t\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode() + body,
+            )
+            lines_body = f"{POSITIVES[2]}\n{NEGATIVES[1]}\n".encode()
+            many_lines = await _http_request(
+                host, port,
+                b"POST /query_many HTTP/1.1\r\nHost: t\r\n"
+                + f"Content-Length: {len(lines_body)}\r\n\r\n".encode() + lines_body,
+            )
+            generation = await _http_request(
+                host, port, b"GET /generation HTTP/1.1\r\nHost: t\r\n\r\n"
+            )
+            stats = await _http_request(
+                host, port, b"GET /stats HTTP/1.1\r\nHost: t\r\n\r\n"
+            )
+            lost = await _http_request(
+                host, port, b"GET /nowhere HTTP/1.1\r\nHost: t\r\n\r\n"
+            )
+            return query, missing, many, many_lines, generation, stats, lost
+
+    query, missing, many, many_lines, generation, stats, lost = run(scenario())
+    assert query == (200, {"key": POSITIVES[0], "member": True, "generation": 1})
+    assert missing[0] == 400
+    assert many == (200, {"members": [True, False], "generation": 1})
+    assert many_lines == (200, {"members": [True, False], "generation": 1})
+    assert generation == (200, {"generation": 1})
+    assert stats[0] == 200 and stats[1]["batching"]["coalesced_keys"] >= 4
+    assert lost[0] == 404
+
+
+# --------------------------------------------------------------------- #
+# numpy-less fallback
+# --------------------------------------------------------------------- #
+def test_front_end_without_numpy(service, monkeypatch):
+    from repro.hashing import vectorized
+
+    monkeypatch.setattr(vectorized, "np", None)
+
+    async def scenario():
+        async with AdaptiveMicroBatcher(service, max_batch=16, max_wait_ms=2.0) as front:
+            scalars = await asyncio.gather(*[front.query(key) for key in POSITIVES[:6]])
+            span, generation = await front.query_many_with_generation(NEGATIVES[:3])
+            return scalars, span, generation
+
+    scalars, span, generation = run(scenario())
+    assert scalars == [True] * 6
+    assert span == [False] * 3 and generation == 1
+
+
+def test_shared_batcher_survives_server_close(service):
+    async def scenario():
+        async with AdaptiveMicroBatcher(service, max_wait_ms=1.0) as shared:
+            server = AsyncMembershipServer(service, batcher=shared)
+            host, port = await server.start_tcp()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(f"Q {POSITIVES[0]}\n".encode())
+            await writer.drain()
+            assert (await reader.readline()).decode().strip() == "V 1 1"
+            writer.close()
+            await server.aclose()
+            # The server owned the listeners, not the batcher: in-process
+            # callers keep working after the network front-end shuts down.
+            assert await shared.query(POSITIVES[1]) is True
+
+    run(scenario())
+
+
+def test_http_oversized_body_is_refused_without_buffering(service):
+    async def scenario():
+        async with AsyncMembershipServer(service, max_wait_ms=1.0) as server:
+            host, port = await server.start_http()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                b"POST /query_many HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: 10000000000\r\n\r\n"
+            )
+            await writer.drain()
+            head = await reader.readline()
+            writer.close()
+            return head.decode()
+
+    assert " 413 " in run(scenario())
+
+
+def test_batcher_rejects_max_batch_above_service_cap():
+    svc = MembershipService(backend="bloom", num_shards=1, max_batch_size=64)
+    svc.load(POSITIVES[:10])
+    with pytest.raises(ConfigurationError, match="max_batch_size"):
+        AdaptiveMicroBatcher(svc, max_batch=100)
+
+
+def test_tcp_large_m_request_within_limits_and_overlong_line(service):
+    async def scenario():
+        async with AsyncMembershipServer(service, max_wait_ms=1.0) as server:
+            host, port = await server.start_tcp()
+            reader, writer = await asyncio.open_connection(host, port)
+            # A ~90 KiB M line (5000 keys) is over asyncio's default 64 KiB
+            # readline limit but within the server's raised stream limit.
+            keys = [f"evil-{i % 300}.example" for i in range(5000)]
+            writer.write(("M " + " ".join(keys) + "\n").encode())
+            await writer.drain()
+            reply = (await reader.readline()).decode().strip()
+            assert reply.startswith("V 1 ")
+            assert reply.split()[2:] == ["1"] * 5000
+            writer.close()
+            # A line over the stream limit gets an E reply, not a silent drop.
+            reader2, writer2 = await asyncio.open_connection(host, port)
+            writer2.write(b"M " + b"x" * (2 << 20))
+            await writer2.drain()
+            reply2 = (await reader2.readline()).decode().strip()
+            assert reply2.startswith("E line exceeds")
+            writer2.close()
+
+    run(scenario())
+
+
+def test_http_negative_content_length_is_a_400(service):
+    async def scenario():
+        async with AsyncMembershipServer(service, max_wait_ms=1.0) as server:
+            host, port = await server.start_http()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                b"POST /query_many HTTP/1.1\r\nHost: t\r\nContent-Length: -5\r\n\r\n"
+            )
+            await writer.drain()
+            head = await reader.readline()
+            writer.close()
+            return head.decode()
+
+    assert " 400 " in run(scenario())

@@ -37,7 +37,7 @@ def test_router_seed_changes_placement():
     assert [a.shard_of(k) for k in keys] != [b.shard_of(k) for k in keys]
 
 
-@pytest.mark.parametrize("backend", ["habf", "f-habf", "bloom", "xor"])
+@pytest.mark.parametrize("backend", ["habf", "f-habf", "bloom", "bloom-dh", "xor"])
 def test_store_has_zero_false_negatives_across_backends(dataset, backend):
     store = ShardedFilterStore.build(
         dataset.positives,
@@ -153,7 +153,7 @@ def test_store_with_empty_shards_round_trips():
 # Backend registry
 # --------------------------------------------------------------------- #
 def test_builtin_backends_are_registered():
-    assert {"habf", "f-habf", "bloom", "xor"} <= set(available_backends())
+    assert {"habf", "f-habf", "bloom", "bloom-dh", "xor"} <= set(available_backends())
 
 
 def test_get_backend_forwards_kwargs():
@@ -196,3 +196,21 @@ def test_register_custom_backend():
         from repro.service import backends as backends_module
 
         backends_module._REGISTRY.pop("tiny", None)
+
+
+def test_bloom_dh_backend_round_trips_and_matches_scalar(dataset):
+    """The double-hashing serving backend: zero FN, codec frames, engine parity."""
+    store = ShardedFilterStore.build(
+        dataset.positives,
+        num_shards=4,
+        backend="bloom-dh",
+        bits_per_key=10.0,
+        primitive="murmur3",
+        seed=3,
+    )
+    assert store.backend_name == "bloom-dh"
+    assert all(store.query_many(dataset.positives))
+    probe = dataset.negatives[:200] + dataset.positives[:200]
+    assert store.query_many(probe) == [store.query(key) for key in probe]
+    revived = codec.loads(codec.dumps(store))
+    assert revived.query_many(probe) == store.query_many(probe)
