@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.core.bloom import BloomFilter, optimal_num_hashes
 from repro.hashing.double_hashing import DoubleHashFamily
 from repro.metrics.fpr import false_positive_rate
-from repro.metrics.timing import time_construction
+from repro.metrics.timing import time_construction_best_of
 
 
 def _build_pair(dataset, bits_per_key=10.0):
@@ -37,10 +37,12 @@ def test_ablation_double_hashing(benchmark, quick_config):
     build_independent, build_double = _build_pair(dataset)
 
     def run():
-        independent, t_independent = time_construction(
+        # Best-of-three: a single-shot ratio flakes when one scheduler stall
+        # lands inside either ms-scale build.
+        independent, t_independent = time_construction_best_of(
             build_independent, dataset.num_positives
         )
-        double, t_double = time_construction(build_double, dataset.num_positives)
+        double, t_double = time_construction_best_of(build_double, dataset.num_positives)
         return {
             "independent_fpr": false_positive_rate(independent, dataset.negatives),
             "double_fpr": false_positive_rate(double, dataset.negatives),

@@ -43,6 +43,11 @@ def print_stats(service: MembershipService, label: str) -> None:
         f"positives={stats.positives} rejected_batches={stats.rejected_batches} "
         f"rebuilds={stats.rebuilds}"
     )
+    print(
+        f"  rebuild pipeline: shards_rebuilt={stats.shards_rebuilt} "
+        f"shards_skipped={stats.shards_skipped} "
+        f"shard generations={[shard.generation for shard in stats.shards]}"
+    )
     if latency:
         print(
             f"  per-key latency: p50={latency.p50:.2f}us p95={latency.p95:.2f}us "

@@ -85,6 +85,22 @@ def service_section(lines, dataset, num_shards=4, bits_per_key=10.0):
         f"p95={latency.p95:.2f}us p99={latency.p99:.2f}us"
     )
     lines.append(f"  snapshot={len(frame)} bytes, load={load_ms:.2f} ms")
+
+    # Incremental rebuild: drop one key so exactly one shard is dirty.
+    before = service.stats()
+    start = time.perf_counter()
+    service.rebuild(dataset.positives[1:], dataset.negatives)
+    incremental_ms = (time.perf_counter() - start) * 1e3
+    start = time.perf_counter()
+    service.rebuild(dataset.positives[1:], dataset.negatives, incremental=False)
+    full_ms = (time.perf_counter() - start) * 1e3
+    after = service.stats()
+    lines.append(
+        f"  rebuild: full={full_ms:.1f} ms, 1-dirty-shard={incremental_ms:.1f} ms "
+        f"(x{full_ms / incremental_ms:.1f}); shards rebuilt="
+        f"{after.shards_rebuilt - before.shards_rebuilt - num_shards} "
+        f"skipped={after.shards_skipped - before.shards_skipped}"
+    )
     lines.append("")
 
 

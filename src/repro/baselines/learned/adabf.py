@@ -16,7 +16,10 @@ from __future__ import annotations
 
 from typing import List, Mapping, Optional, Sequence
 
-import numpy as np
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as np
+except ImportError:  # pragma: no cover - the CI image bundles numpy
+    np = None
 
 from repro.baselines.learned.model import KeyScoreModel
 from repro.core.batch import BatchMembership
@@ -193,6 +196,19 @@ class AdaptiveLearnedBloomFilter(BatchMembership):
         """Serialized size: model plus the shared bit array."""
         bloom = self._bloom.size_in_bits() if self._bloom else 0
         return self._model.size_in_bits() + bloom
+
+    def to_frame(self) -> bytes:
+        """Serialize the whole filter (model + grouped bit array) to one codec frame."""
+        from repro.service import codec
+
+        return codec.dumps(self)
+
+    @classmethod
+    def from_frame(cls, data: bytes) -> "AdaptiveLearnedBloomFilter":
+        """Revive a filter from a frame written by :meth:`to_frame`."""
+        from repro.service import codec
+
+        return codec.loads_as(data, cls)
 
     def size_in_bytes(self) -> int:
         """Serialized size in bytes (rounded up)."""

@@ -14,9 +14,12 @@ is fixed.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
-import numpy as np
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as np
+except ImportError:  # pragma: no cover - the CI image bundles numpy
+    np = None
 
 from repro.baselines.learned.model import KeyScoreModel
 from repro.core.batch import BatchMembership
@@ -199,6 +202,19 @@ class LearnedBloomFilter(BatchMembership):
         """Serialized size: model plus backup filter."""
         backup = self._backup.size_in_bits() if self._backup else 0
         return self._model.size_in_bits() + backup
+
+    def to_frame(self) -> bytes:
+        """Serialize the whole filter (model + backup) to one codec frame."""
+        from repro.service import codec
+
+        return codec.dumps(self)
+
+    @classmethod
+    def from_frame(cls, data: bytes) -> "LearnedBloomFilter":
+        """Revive a filter from a frame written by :meth:`to_frame`."""
+        from repro.service import codec
+
+        return codec.loads_as(data, cls)
 
     def size_in_bytes(self) -> int:
         """Serialized size in bytes (rounded up)."""

@@ -12,9 +12,12 @@ near-random on the YCSB-like keys).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Sequence
 
-import numpy as np
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as np
+except ImportError:  # pragma: no cover - the CI image bundles numpy
+    np = None
 
 from repro.errors import ConfigurationError
 from repro.hashing.base import Key, normalize_key
@@ -64,6 +67,11 @@ class KeyScoreModel:
         seed: int = 1,
         weight_bits: int = 32,
     ) -> None:
+        if np is None:
+            raise ConfigurationError(
+                "KeyScoreModel requires numpy; the learned baselines have no "
+                "scalar fallback"
+            )
         if num_features < 8:
             raise ConfigurationError("num_features must be at least 8")
         if not ngram_sizes:
@@ -150,6 +158,19 @@ class KeyScoreModel:
     def size_in_bits(self) -> int:
         """Serialized model size: one weight per feature plus the bias."""
         return (self._num_features + 1) * self._weight_bits
+
+    def to_frame(self) -> bytes:
+        """Serialize the model (weights, bias, hyperparameters) to one codec frame."""
+        from repro.service import codec
+
+        return codec.dumps(self)
+
+    @classmethod
+    def from_frame(cls, data: bytes) -> "KeyScoreModel":
+        """Revive a model from a frame written by :meth:`to_frame`."""
+        from repro.service import codec
+
+        return codec.loads_as(data, cls)
 
     def accuracy(self, positives: Sequence[Key], negatives: Sequence[Key], threshold: float = 0.5) -> float:
         """Classification accuracy at ``threshold`` (diagnostic helper)."""

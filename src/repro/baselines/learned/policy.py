@@ -1,0 +1,140 @@
+"""Filter policies exposing the learned baselines to the serving layer.
+
+The learned filters (LBF, SLBF, Ada-BF) need negative training keys; a
+sorted run or a shard that has none cannot train a classifier at all.  The
+policies therefore *degrade gracefully*: with no usable negatives they build
+a plain Bloom filter at the same space budget instead of failing the whole
+store build.  Every filter a policy can return — learned or degraded —
+round-trips through :mod:`repro.service.codec`, so sharded stores over these
+backends snapshot/restore and parallel-build like the hash-based ones.
+
+The policies follow the same ``create_filter(keys, negatives, costs)``
+protocol as :mod:`repro.kvstore.filter_policy`; the model capacity defaults
+to a small hashed-feature width (64 features) because a per-shard or per-run
+filter charges the serialized model against its own budget.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.baselines.learned.adabf import AdaptiveLearnedBloomFilter
+from repro.baselines.learned.lbf import LearnedBloomFilter
+from repro.baselines.learned.model import KeyScoreModel
+from repro.baselines.learned.slbf import SandwichedLearnedBloomFilter
+from repro.errors import ConfigurationError
+from repro.hashing.base import Key
+from repro.kvstore.filter_policy import (
+    AlwaysContainsFilter,
+    DoubleHashBloomFilterPolicy,
+    MembershipFilter,
+)
+
+
+class _LearnedFilterPolicy:
+    """Shared build recipe for the three learned-filter policies."""
+
+    name = "learned"
+    filter_cls: type = LearnedBloomFilter
+
+    def __init__(
+        self,
+        bits_per_key: float = 12.0,
+        num_features: int = 64,
+        seed: int = 1,
+    ) -> None:
+        if bits_per_key <= 0:
+            raise ConfigurationError("bits_per_key must be positive")
+        self.bits_per_key = bits_per_key
+        self.num_features = num_features
+        self.seed = seed
+
+    def _model(self) -> KeyScoreModel:
+        return KeyScoreModel(num_features=self.num_features, seed=self.seed)
+
+    def _build(
+        self,
+        keys: list,
+        negatives: list,
+        costs: Optional[Mapping[Key, float]],
+    ) -> MembershipFilter:
+        return self.filter_cls.build(
+            keys,
+            negatives,
+            costs=costs,
+            bits_per_key=self.bits_per_key,
+            model=self._model(),
+            seed=self.seed,
+        )
+
+    def _fallback(self, keys: list) -> MembershipFilter:
+        """A plain Bloom filter at the same budget when training is impossible.
+
+        Delegates to the ``bloom-dh`` policy so the degraded filter is the
+        same shape that backend would build — one sizing recipe, not two.
+        """
+        return DoubleHashBloomFilterPolicy(
+            bits_per_key=self.bits_per_key, seed=self.seed
+        ).create_filter(keys)
+
+    def create_filter(
+        self,
+        keys: Sequence[Key],
+        negatives: Sequence[Key] = (),
+        costs: Optional[Mapping[Key, float]] = None,
+    ) -> MembershipFilter:
+        keys = list(keys)
+        if not keys:
+            return AlwaysContainsFilter()
+        key_set = set(keys)
+        usable_negatives = [key for key in negatives if key not in key_set]
+        if not usable_negatives:
+            return self._fallback(keys)
+        return self._build(keys, usable_negatives, costs)
+
+
+class LearnedBloomFilterPolicy(_LearnedFilterPolicy):
+    """LBF per run/shard: classifier + backup Bloom filter."""
+
+    name = "lbf"
+    filter_cls = LearnedBloomFilter
+
+
+class SandwichedLearnedBloomFilterPolicy(_LearnedFilterPolicy):
+    """SLBF per run/shard: initial filter + classifier + backup filter."""
+
+    name = "slbf"
+    filter_cls = SandwichedLearnedBloomFilter
+
+
+class AdaptiveLearnedBloomFilterPolicy(_LearnedFilterPolicy):
+    """Ada-BF per run/shard: score-bucketed probe counts over one bit array."""
+
+    name = "adabf"
+    filter_cls = AdaptiveLearnedBloomFilter
+
+    def __init__(
+        self,
+        bits_per_key: float = 12.0,
+        num_features: int = 64,
+        seed: int = 1,
+        num_groups: int = 4,
+    ) -> None:
+        super().__init__(bits_per_key=bits_per_key, num_features=num_features, seed=seed)
+        self.num_groups = num_groups
+
+    def _build(
+        self,
+        keys: list,
+        negatives: list,
+        costs: Optional[Mapping[Key, float]],
+    ) -> MembershipFilter:
+        return AdaptiveLearnedBloomFilter.build(
+            keys,
+            negatives,
+            costs=costs,
+            bits_per_key=self.bits_per_key,
+            num_groups=self.num_groups,
+            model=self._model(),
+            seed=self.seed,
+        )

@@ -16,7 +16,10 @@ from __future__ import annotations
 
 from typing import List, Mapping, Optional, Sequence
 
-import numpy as np
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as np
+except ImportError:  # pragma: no cover - the CI image bundles numpy
+    np = None
 
 from repro.baselines.learned.lbf import _backup_fpr_estimate
 from repro.baselines.learned.model import KeyScoreModel
@@ -192,6 +195,19 @@ class SandwichedLearnedBloomFilter(BatchMembership):
         initial = self._initial.size_in_bits() if self._initial else 0
         backup = self._backup.size_in_bits() if self._backup else 0
         return self._model.size_in_bits() + initial + backup
+
+    def to_frame(self) -> bytes:
+        """Serialize the whole sandwich (model + both filters) to one codec frame."""
+        from repro.service import codec
+
+        return codec.dumps(self)
+
+    @classmethod
+    def from_frame(cls, data: bytes) -> "SandwichedLearnedBloomFilter":
+        """Revive a filter from a frame written by :meth:`to_frame`."""
+        from repro.service import codec
+
+        return codec.loads_as(data, cls)
 
     def size_in_bytes(self) -> int:
         """Serialized size in bytes (rounded up)."""

@@ -22,7 +22,6 @@ This implementation follows the paper's experimental setup:
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.batch import BatchMembership
@@ -251,6 +250,19 @@ class WeightedBloomFilter(BatchMembership):
     def size_in_bytes(self) -> int:
         """Bit-array bytes (rounded up)."""
         return (self.size_in_bits() + 7) // 8
+
+    def to_frame(self) -> bytes:
+        """Serialize the filter (bit array + cost cache) to one codec frame."""
+        from repro.service import codec
+
+        return codec.dumps(self)
+
+    @classmethod
+    def from_frame(cls, data: bytes) -> "WeightedBloomFilter":
+        """Revive a filter from a frame written by :meth:`to_frame`."""
+        from repro.service import codec
+
+        return codec.loads_as(data, cls)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

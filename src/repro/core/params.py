@@ -13,7 +13,7 @@ so every experiment and example constructs filters the same way.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.errors import ConfigurationError

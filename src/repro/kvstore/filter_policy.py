@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Mapping, Optional, Protocol, Sequence
 
+from repro.baselines.weighted_bloom import WeightedBloomFilter
 from repro.baselines.xor_filter import XorFilter
 from repro.core.bloom import BloomFilter, optimal_num_hashes
 from repro.core.habf import HABF, FastHABF
@@ -178,6 +179,51 @@ class FastHABFFilterPolicy(HABFFilterPolicy):
 
     name = "f-habf"
     filter_cls = FastHABF
+
+
+class WeightedBloomFilterPolicy:
+    """WBF per run: cost-ranked negatives get elevated per-key hash counts.
+
+    The cost-aware baseline as a policy — the known negatives and their
+    access costs populate the filter's cost cache, so the most expensive
+    misses receive extra probes.  Like every policy, the built filter
+    round-trips through :mod:`repro.service.codec` (bit array *and* cost
+    cache), which is what lets a sharded WBF store snapshot/restore and hand
+    shards across process-pool workers.
+    """
+
+    name = "wbf"
+
+    def __init__(
+        self,
+        bits_per_key: float = 10.0,
+        cache_fraction: float = 0.1,
+        max_extra_hashes: int = 6,
+    ) -> None:
+        if bits_per_key <= 0:
+            raise ConfigurationError("bits_per_key must be positive")
+        self.bits_per_key = bits_per_key
+        self.cache_fraction = cache_fraction
+        self.max_extra_hashes = max_extra_hashes
+
+    def create_filter(
+        self,
+        keys: Sequence[Key],
+        negatives: Sequence[Key] = (),
+        costs: Optional[Mapping[Key, float]] = None,
+    ) -> MembershipFilter:
+        keys = list(keys)
+        if not keys:
+            return AlwaysContainsFilter()
+        key_set = set(keys)
+        return WeightedBloomFilter.build(
+            keys,
+            negatives=[key for key in negatives if key not in key_set],
+            costs=costs,
+            bits_per_key=self.bits_per_key,
+            cache_fraction=self.cache_fraction,
+            max_extra_hashes=self.max_extra_hashes,
+        )
 
 
 class XorFilterPolicy:

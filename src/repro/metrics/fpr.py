@@ -8,7 +8,7 @@ weighted FPR equals the ordinary FPR.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Optional, Protocol, Sequence
+from typing import Mapping, Optional, Protocol, Sequence
 
 from repro.errors import ConfigurationError
 from repro.hashing.base import Key

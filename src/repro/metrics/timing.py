@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Sequence, Tuple, TypeVar
+from typing import Callable, Optional, Sequence, Tuple, TypeVar
 
 from repro.errors import ConfigurationError
 from repro.hashing.base import Key
@@ -86,6 +86,35 @@ def latency_percentiles(samples: Sequence[float]) -> LatencyPercentiles:
         p99=_percentile_of_sorted(ordered, 99.0),
         mean=sum(ordered) / len(ordered),
     )
+
+
+class Stopwatch:
+    """Context manager measuring the wall-clock duration of its block.
+
+    The seconds accumulate into :attr:`seconds` when the block exits (also
+    on exceptions, so a failed rebuild still reports how long it ran)::
+
+        with Stopwatch() as watch:
+            do_work()
+        record(watch.seconds)
+
+    Used by the serving layer to feed rebuild-latency percentiles and by the
+    rebuild benchmark; re-entering the same instance restarts the
+    measurement.
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start is not None:
+            self.seconds = time.perf_counter() - self._start
+            self._start = None
 
 
 @dataclass(frozen=True)

@@ -6,16 +6,20 @@ blacklist-gateway / LSM read-path setting the paper motivates:
 
 * :mod:`repro.service.codec` — a versioned, checksummed binary frame format
   that round-trips every filter (BitArray, BloomFilter, HashExpressor, HABF,
-  f-HABF, Xor) to and from ``bytes``, so built filters can be persisted and
-  shipped between processes.
+  f-HABF, Xor, WBF and the learned LBF/SLBF/Ada-BF with their score model)
+  to and from ``bytes``, so built filters can be persisted and shipped
+  between processes.
 * :mod:`repro.service.backends` — a registry exposing every filter family
   through the single ``create_filter(keys, negatives, costs)`` interface
   shared with :mod:`repro.kvstore.filter_policy`.
 * :mod:`repro.service.shards` — :class:`ShardedFilterStore`, which partitions
-  keys across N independently-built filters and answers batches by grouping
-  keys per shard.
+  keys across N independently-built filters (in parallel with
+  ``workers=N``), answers batches by grouping keys per shard, and tracks
+  per-shard generations plus key-set fingerprints so rebuilds can skip
+  clean shards.
 * :mod:`repro.service.server` — :class:`MembershipService`, a
-  generation-versioned serving core with atomic hot-swap rebuilds and
+  generation-versioned serving core with atomic hot-swap rebuilds
+  (incremental by default: only dirty shards are reconstructed) and
   latency-percentile statistics.
 * :mod:`repro.service.aserve` — the asyncio front-end:
   :class:`AdaptiveMicroBatcher` coalesces concurrent callers into engine
@@ -31,7 +35,15 @@ from repro.service.backends import (
     register_backend,
     resolve_backend,
 )
-from repro.service.codec import CODEC_VERSION, FRAME_MAGIC, dump, dumps, load, loads
+from repro.service.codec import (
+    CODEC_VERSION,
+    FRAME_MAGIC,
+    dump,
+    dumps,
+    load,
+    loads,
+    loads_as,
+)
 from repro.service.server import BatchAnswer, MembershipService, Snapshot
 from repro.service.shards import EmptyShardFilter, ShardRouter, ShardedFilterStore
 from repro.service.stats import (
@@ -60,6 +72,7 @@ __all__ = [
     "resolve_backend",
     "dumps",
     "loads",
+    "loads_as",
     "dump",
     "load",
     "FRAME_MAGIC",

@@ -400,7 +400,14 @@ class AdaptiveMicroBatcher:
 # --------------------------------------------------------------------- #
 # Network front-ends
 # --------------------------------------------------------------------- #
-_HTTP_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found", 413: "Payload Too Large"}
+_HTTP_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    413: "Payload Too Large",
+    414: "URI Too Long",
+    431: "Request Header Fields Too Large",
+}
 #: Largest request body the HTTP handler will buffer.  Generous for any sane
 #: query_many batch (the service's own max_batch_size rejects oversized key
 #: counts), while bounding what one connection can make the process hold.
@@ -573,17 +580,90 @@ class AsyncMembershipServer:
     # ------------------------------------------------------------------ #
     # Minimal HTTP/1.1
     # ------------------------------------------------------------------ #
+    @staticmethod
+    async def _discard_remaining(reader) -> None:
+        """Best-effort drain of unread request bytes before closing.
+
+        Closing a socket with unread data in its receive buffer makes the
+        kernel send RST instead of FIN, which can destroy the error response
+        still in flight to the client.  Draining is bounded (a few stream
+        limits, short per-read timeout) so one misbehaving peer cannot pin
+        the handler.
+        """
+        remaining = 4 * _STREAM_LIMIT_BYTES
+        with contextlib.suppress(asyncio.TimeoutError, ConnectionResetError):
+            while remaining > 0:
+                chunk = await asyncio.wait_for(
+                    reader.read(min(65536, remaining)), timeout=0.5
+                )
+                if not chunk:
+                    return
+                remaining -= len(chunk)
+
+    async def _write_http_response(self, reader, writer, status: int, payload) -> None:
+        """Emit one complete response, then half-close and drain the input.
+
+        Every response — success or error — carries an explicit
+        ``Connection: close`` header; this server answers exactly one
+        request per connection, and clients (including the protocol tests)
+        may rely on observing EOF after the body.  The shutdown order
+        matters: ``write_eof`` sends FIN right after the body (so the
+        client sees a clean end-of-response), then any input the handler
+        never read — an oversized line, an over-limit body, a pipelined
+        second request — is drained before the ``finally`` closes the
+        socket, because closing with unread bytes in the receive buffer
+        makes the kernel send RST, which can destroy the response still in
+        flight.
+        """
+        data = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + data)
+        await writer.drain()
+        with contextlib.suppress(OSError, RuntimeError):
+            writer.write_eof()
+        await self._discard_remaining(reader)
+
     async def _handle_http(self, reader, writer) -> None:
         self._track_connection()
         try:
-            request_line = await reader.readline()
+            try:
+                request_line = await reader.readline()
+            except ValueError:
+                # Request line overran the stream limit; the buffered rest of
+                # the connection is unusable, so answer and hang up.
+                await self._write_http_response(
+                    reader,
+                    writer,
+                    414,
+                    {"error": f"request line exceeds {_STREAM_LIMIT_BYTES} bytes"},
+                )
+                return
+            if not request_line:
+                return  # peer connected and left; nothing to answer
             pieces = request_line.decode("latin-1").split()
             if len(pieces) < 2:
+                await self._write_http_response(
+                    reader, writer, 400, {"error": "malformed request line"}
+                )
                 return
             method, target = pieces[0].upper(), pieces[1]
             content_length = 0
             while True:
-                header = await reader.readline()
+                try:
+                    header = await reader.readline()
+                except ValueError:
+                    await self._write_http_response(
+                        reader,
+                        writer,
+                        431,
+                        {"error": f"header line exceeds {_STREAM_LIMIT_BYTES} bytes"},
+                    )
+                    return
                 if header in (b"\r\n", b"\n", b""):
                     break
                 name, _, value = header.decode("latin-1").partition(":")
@@ -591,25 +671,43 @@ class AsyncMembershipServer:
                     with contextlib.suppress(ValueError):
                         content_length = int(value.strip())
             if content_length < 0:
-                status, payload = 400, {"error": "negative Content-Length"}
-            elif content_length > _HTTP_MAX_BODY_BYTES:
-                status, payload = 413, {
-                    "error": f"request body exceeds {_HTTP_MAX_BODY_BYTES} bytes"
-                }
-            else:
-                body = (
-                    await reader.readexactly(content_length) if content_length else b""
+                # The declared length is nonsense, so the body (if any) was
+                # never read: answer (which drains it), hang up.
+                await self._write_http_response(
+                    reader, writer, 400, {"error": "negative Content-Length"}
                 )
-                status, payload = await self._http_response(method, target, body)
-            data = json.dumps(payload).encode("utf-8")
-            head = (
-                f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'OK')}\r\n"
-                f"Content-Type: application/json\r\n"
-                f"Content-Length: {len(data)}\r\n"
-                f"Connection: close\r\n\r\n"
-            )
-            writer.write(head.encode("latin-1") + data)
-            await writer.drain()
+                return
+            if content_length > _HTTP_MAX_BODY_BYTES:
+                await self._write_http_response(
+                    reader,
+                    writer,
+                    413,
+                    {"error": f"request body exceeds {_HTTP_MAX_BODY_BYTES} bytes"},
+                )
+                return
+            try:
+                body = (
+                    await reader.readexactly(content_length)
+                    if content_length
+                    else b""
+                )
+            except asyncio.IncompleteReadError as exc:
+                # EOF inside the body: everything sent was consumed, so the
+                # response goes out over an already-drained connection.
+                await self._write_http_response(
+                    reader,
+                    writer,
+                    400,
+                    {
+                        "error": (
+                            "request body truncated: Content-Length "
+                            f"{content_length}, received {len(exc.partial)}"
+                        )
+                    },
+                )
+                return
+            status, payload = await self._http_response(method, target, body)
+            await self._write_http_response(reader, writer, status, payload)
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
             pass  # pragma: no cover - torn-down connection
         except asyncio.CancelledError:

@@ -6,13 +6,26 @@ built-in backends *are* the kvstore filter policies, so a filter tuned for
 the LSM read path and one tuned for the serving path are configured the same
 way.  The registry adds name-based lookup so services, examples and the
 evidence script can select backends from a string (``"habf"``, ``"f-habf"``,
-``"bloom"``, ``"xor"``).
+``"bloom"``, ``"bloom-dh"``, ``"xor"``, ``"wbf"``, ``"lbf"``, ``"slbf"``,
+``"adabf"``).
+
+Every registered backend's filters round-trip through
+:mod:`repro.service.codec`, which is load-bearing twice over: sharded stores
+snapshot/restore regardless of policy, and parallel build workers hand
+finished shards back to the parent process as codec frames.  The learned
+backends additionally need numpy at *build* time (their policies import
+without it and fail loudly when asked to train).
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Union
 
+from repro.baselines.learned.policy import (
+    AdaptiveLearnedBloomFilterPolicy,
+    LearnedBloomFilterPolicy,
+    SandwichedLearnedBloomFilterPolicy,
+)
 from repro.errors import ConfigurationError
 from repro.kvstore.filter_policy import (
     BloomFilterPolicy,
@@ -20,6 +33,7 @@ from repro.kvstore.filter_policy import (
     FastHABFFilterPolicy,
     FilterPolicy,
     HABFFilterPolicy,
+    WeightedBloomFilterPolicy,
     XorFilterPolicy,
 )
 
@@ -87,3 +101,14 @@ register_backend("f-habf", FastHABFFilterPolicy)
 register_backend("bloom", BloomFilterPolicy)
 register_backend("bloom-dh", DoubleHashBloomFilterPolicy)
 register_backend("xor", XorFilterPolicy)
+register_backend("wbf", WeightedBloomFilterPolicy)
+register_backend("lbf", LearnedBloomFilterPolicy)
+register_backend("slbf", SandwichedLearnedBloomFilterPolicy)
+register_backend("adabf", AdaptiveLearnedBloomFilterPolicy)
+
+#: Names registered by this module itself.  Process-pool build workers
+#: re-resolve backends by name in a fresh interpreter, which only has these
+#: registrations — runtime `register_backend` calls are not visible there
+#: (unless the worker re-imports whatever module registered them), so
+#: automatic worker-mode selection treats only built-ins as process-safe.
+BUILTIN_BACKENDS = frozenset(_REGISTRY)

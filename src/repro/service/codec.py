@@ -3,7 +3,7 @@
 Every serializable object is wrapped in one self-describing frame::
 
     offset 0   magic      4 bytes  b"HABF"
-    offset 4   version    1 byte   currently 1
+    offset 4   version    1 byte   currently 2
     offset 5   type tag   1 byte   which structure the payload encodes
     offset 6   length     4 bytes  payload size (big-endian)
     offset 10  payload    `length` bytes
@@ -16,24 +16,31 @@ self-contained: a filter's hash family is encoded alongside its bits, so
 ``loads(dumps(f))`` reproduces a filter that answers identically to ``f``
 in a fresh process.
 
-Composite structures (HABF, the sharded store) embed their parts as nested
-length-prefixed frames, so every layer round-trips through the same code
-path.  Construction-time statistics (``TPJOStats``) are *not* serialized —
-a revived filter serves queries but reports ``construction_stats`` of
-``None``.
+Version history: version 2 added per-shard generations and key-set
+fingerprints to the sharded-store payload (the incremental-rebuild
+metadata) and the frames for the cost-aware and learned backends (WBF,
+``KeyScoreModel``, LBF, SLBF, Ada-BF).  Version 1 frames still decode; the
+codec always writes the current version.
+
+Composite structures (HABF, the learned filters, the sharded store) embed
+their parts as nested length-prefixed frames, so every layer round-trips
+through the same code path.  Construction-time statistics (``TPJOStats``)
+are *not* serialized — a revived filter serves queries but reports
+``construction_stats`` of ``None``.
 """
 
 from __future__ import annotations
 
 import struct
 import zlib
-from typing import Any, List, Optional, Sequence, Union
+from typing import Any, List, Optional, Union
 
 from repro.core.bitarray import BitArray
 from repro.core.bloom import BloomFilter
 from repro.core.habf import HABF, FastHABF
 from repro.core.hash_expressor import HashExpressor
 from repro.core.params import HABFParams
+from repro.baselines.weighted_bloom import WeightedBloomFilter
 from repro.baselines.xor_filter import XorFilter
 from repro.errors import CodecError
 from repro.hashing.base import HashFunction
@@ -43,8 +50,12 @@ from repro.hashing.registry import GLOBAL_HASH_FAMILY, HashFamily, get_primitive
 #: Magic bytes opening every frame.
 FRAME_MAGIC = b"HABF"
 
-#: Current frame-format version.
-CODEC_VERSION = 1
+#: Current frame-format version (always written; every version in
+#: :data:`READABLE_VERSIONS` still decodes).
+CODEC_VERSION = 2
+
+#: Frame versions :func:`loads` accepts.
+READABLE_VERSIONS = (1, 2)
 
 # Type tags (1 byte each).
 TAG_BITARRAY = 1
@@ -56,6 +67,17 @@ TAG_XOR = 6
 TAG_SHARDED_STORE = 7
 TAG_EMPTY_SHARD = 8
 TAG_ALWAYS_CONTAINS = 9
+TAG_WBF = 10
+TAG_SCORE_MODEL = 11
+TAG_LBF = 12
+TAG_SLBF = 13
+TAG_ADABF = 14
+
+# Key kinds used by the WBF cost-cache encoding (keys keep their Python type
+# so a revived filter consults its cache with exactly the original lookups).
+_KEY_BYTES = 0
+_KEY_STR = 1
+_KEY_INT = 2
 
 # Hash-family descriptor kinds.
 _FAMILY_GLOBAL = 0
@@ -410,16 +432,262 @@ def _decode_xor(reader: _Reader) -> XorFilter:
     return xor
 
 
+def _encode_key(writer: _Writer, key) -> None:
+    if isinstance(key, bytes):
+        writer.u8(_KEY_BYTES)
+        writer.bytes_field(key)
+    elif isinstance(key, str):
+        writer.u8(_KEY_STR)
+        writer.str_field(key)
+    elif isinstance(key, int):
+        writer.u8(_KEY_INT)
+        writer.u8(1 if key < 0 else 0)
+        magnitude = abs(key)
+        writer.bytes_field(magnitude.to_bytes(max(1, (magnitude.bit_length() + 7) // 8), "little"))
+    else:
+        raise CodecError(f"cannot serialize cache key of type {type(key).__name__}")
+
+
+def _decode_key(reader: _Reader):
+    kind = reader.u8()
+    if kind == _KEY_BYTES:
+        return reader.bytes_field()
+    if kind == _KEY_STR:
+        return reader.str_field()
+    if kind == _KEY_INT:
+        negative = reader.u8() != 0
+        magnitude = int.from_bytes(reader.bytes_field(), "little")
+        return -magnitude if negative else magnitude
+    raise CodecError(f"unknown key kind {kind}")
+
+
+def _encode_wbf(writer: _Writer, wbf: WeightedBloomFilter) -> None:
+    writer.u16(wbf._default_hashes)
+    writer.u16(wbf._max_hashes)
+    writer.f64(wbf._cache_fraction)
+    writer.u64(wbf._num_items)
+    writer.u32(len(wbf._hash_cache))
+    for key, count in wbf._hash_cache.items():
+        _encode_key(writer, key)
+        writer.u16(count)  # u16 like max_hashes: counts above 255 are legal
+    _encode_bitarray(writer, wbf._bits)
+
+
+def _decode_wbf(reader: _Reader) -> WeightedBloomFilter:
+    default_hashes = reader.u16()
+    max_hashes = reader.u16()
+    cache_fraction = reader.f64()
+    num_items = reader.u64()
+    cache = {}
+    for _ in range(reader.u32()):
+        key = _decode_key(reader)
+        count = reader.u16()
+        if not 1 <= count <= max_hashes:
+            raise CodecError(
+                f"cached hash count {count} outside 1..{max_hashes}"
+            )
+        cache[key] = count
+    bits = _decode_bitarray(reader)
+    try:
+        wbf = WeightedBloomFilter(
+            num_bits=len(bits),
+            default_hashes=default_hashes,
+            max_hashes=max_hashes,
+            cache_fraction=cache_fraction,
+        )
+    except Exception as exc:
+        raise CodecError(f"invalid WBF frame parameters: {exc}") from exc
+    wbf._bits = bits
+    wbf._hash_cache = cache
+    wbf._num_items = num_items
+    return wbf
+
+
+def _learned_numpy():
+    """The numpy module, or a loud CodecError for learned frames without it."""
+    from repro.baselines.learned import model as model_module
+
+    if model_module.np is None:
+        raise CodecError(
+            "decoding a learned-filter frame requires numpy (the model weights "
+            "revive as a numpy array)"
+        )
+    return model_module.np
+
+
+def _encode_model(writer: _Writer, model) -> None:
+    writer.u32(model._num_features)
+    writer.u8(len(model._ngram_sizes))
+    for size in model._ngram_sizes:
+        writer.u16(size)
+    writer.f64(model._learning_rate)
+    writer.u32(model._epochs)
+    writer.u64(model._seed)
+    writer.u16(model._weight_bits)
+    writer.u8(1 if model._trained else 0)
+    writer.f64(model._bias)
+    for weight in model._weights:
+        writer.f64(float(weight))
+
+
+def _decode_model(reader: _Reader):
+    np = _learned_numpy()
+    from repro.baselines.learned.model import KeyScoreModel
+
+    num_features = reader.u32()
+    ngram_sizes = tuple(reader.u16() for _ in range(reader.u8()))
+    learning_rate = reader.f64()
+    epochs = reader.u32()
+    seed = reader.u64()
+    weight_bits = reader.u16()
+    trained = reader.u8() != 0
+    bias = reader.f64()
+    try:
+        model = KeyScoreModel(
+            num_features=num_features,
+            ngram_sizes=ngram_sizes,
+            learning_rate=learning_rate,
+            epochs=epochs,
+            seed=seed,
+            weight_bits=weight_bits,
+        )
+    except Exception as exc:
+        raise CodecError(f"invalid KeyScoreModel frame parameters: {exc}") from exc
+    model._weights = np.array(
+        [reader.f64() for _ in range(num_features)], dtype=np.float64
+    )
+    model._bias = bias
+    model._trained = trained
+    return model
+
+
+def _nested_model(reader: _Reader):
+    model = loads(reader.bytes_field())
+    from repro.baselines.learned.model import KeyScoreModel
+
+    if not isinstance(model, KeyScoreModel):
+        raise CodecError("learned-filter frame does not embed a KeyScoreModel frame")
+    return model
+
+
+def _nested_bloom(reader: _Reader) -> Optional[BloomFilter]:
+    if not reader.u8():
+        return None
+    bloom = loads(reader.bytes_field())
+    if not isinstance(bloom, BloomFilter):
+        raise CodecError("learned-filter frame does not embed a Bloom-filter frame")
+    return bloom
+
+
+def _write_optional_bloom(writer: _Writer, bloom: Optional[BloomFilter]) -> None:
+    if bloom is None:
+        writer.u8(0)
+    else:
+        writer.u8(1)
+        writer.bytes_field(dumps(bloom))
+
+
+def _encode_lbf(writer: _Writer, lbf) -> None:
+    writer.u64(lbf._total_bits)
+    writer.u64(lbf._seed)
+    writer.f64(lbf._threshold)
+    writer.u8(1 if lbf._built else 0)
+    writer.bytes_field(dumps(lbf._model))
+    _write_optional_bloom(writer, lbf._backup)
+
+
+def _decode_lbf(reader: _Reader):
+    _learned_numpy()
+    from repro.baselines.learned.lbf import LearnedBloomFilter
+
+    lbf = LearnedBloomFilter.__new__(LearnedBloomFilter)
+    lbf._total_bits = reader.u64()
+    lbf._seed = reader.u64()
+    lbf._threshold = reader.f64()
+    lbf._built = reader.u8() != 0
+    lbf._model = _nested_model(reader)
+    lbf._backup = _nested_bloom(reader)
+    return lbf
+
+
+def _encode_slbf(writer: _Writer, slbf) -> None:
+    writer.u64(slbf._total_bits)
+    writer.u64(slbf._seed)
+    writer.f64(slbf._threshold)
+    writer.u8(1 if slbf._built else 0)
+    writer.bytes_field(dumps(slbf._model))
+    _write_optional_bloom(writer, slbf._initial)
+    _write_optional_bloom(writer, slbf._backup)
+
+
+def _decode_slbf(reader: _Reader):
+    _learned_numpy()
+    from repro.baselines.learned.slbf import SandwichedLearnedBloomFilter
+
+    slbf = SandwichedLearnedBloomFilter.__new__(SandwichedLearnedBloomFilter)
+    slbf._total_bits = reader.u64()
+    slbf._seed = reader.u64()
+    slbf._threshold = reader.f64()
+    slbf._built = reader.u8() != 0
+    slbf._model = _nested_model(reader)
+    slbf._initial = _nested_bloom(reader)
+    slbf._backup = _nested_bloom(reader)
+    return slbf
+
+
+def _encode_adabf(writer: _Writer, adabf) -> None:
+    writer.u64(adabf._total_bits)
+    writer.u16(adabf._num_groups)
+    writer.u64(adabf._seed)
+    writer.u8(1 if adabf._built else 0)
+    writer.u16(len(adabf._thresholds))
+    for threshold in adabf._thresholds:
+        writer.f64(float(threshold))
+    writer.u16(len(adabf._group_hashes))
+    for count in adabf._group_hashes:
+        writer.u16(count)
+    writer.bytes_field(dumps(adabf._model))
+    _write_optional_bloom(writer, adabf._bloom)
+
+
+def _decode_adabf(reader: _Reader):
+    _learned_numpy()
+    from repro.baselines.learned.adabf import AdaptiveLearnedBloomFilter
+
+    adabf = AdaptiveLearnedBloomFilter.__new__(AdaptiveLearnedBloomFilter)
+    adabf._total_bits = reader.u64()
+    adabf._num_groups = reader.u16()
+    if adabf._num_groups < 2:
+        raise CodecError(f"Ada-BF frame declares {adabf._num_groups} groups (minimum 2)")
+    adabf._seed = reader.u64()
+    adabf._built = reader.u8() != 0
+    adabf._thresholds = [reader.f64() for _ in range(reader.u16())]
+    adabf._group_hashes = [reader.u16() for _ in range(reader.u16())]
+    if any(count < 1 for count in adabf._group_hashes):
+        raise CodecError("Ada-BF frame contains a zero group hash count")
+    adabf._model = _nested_model(reader)
+    adabf._bloom = _nested_bloom(reader)
+    return adabf
+
+
 def _encode_store(writer: _Writer, store: Any) -> None:
     writer.u32(store.num_shards)
     writer.u64(store.router_seed)
     writer.str_field(store.backend_name)
-    for filt, key_count in zip(store.filters, store.shard_key_counts):
+    fingerprints = store.shard_fingerprints
+    generations = store.shard_generations
+    for shard, (filt, key_count) in enumerate(
+        zip(store.filters, store.shard_key_counts)
+    ):
         writer.u64(key_count)
+        writer.u32(generations[shard])
+        fingerprint = fingerprints[shard]
+        writer.u8(0 if fingerprint is None else 1)
+        writer.u64(fingerprint or 0)
         writer.bytes_field(dumps(filt))
 
 
-def _decode_store(reader: _Reader) -> Any:
+def _decode_store(reader: _Reader, version: int) -> Any:
     from repro.service.shards import ShardedFilterStore
 
     num_shards = reader.u32()
@@ -427,14 +695,29 @@ def _decode_store(reader: _Reader) -> Any:
     backend_name = reader.str_field()
     filters = []
     key_counts = []
+    generations: List[int] = []
+    fingerprints: List[Optional[int]] = []
     for _ in range(num_shards):
         key_counts.append(reader.u64())
+        if version >= 2:
+            generations.append(reader.u32())
+            has_fingerprint = reader.u8() != 0
+            value = reader.u64()
+            fingerprints.append(value if has_fingerprint else None)
+        else:
+            # Version-1 store frames predate incremental rebuilds: shard
+            # generations default to 1 and fingerprints stay unknown (the
+            # first incremental rebuild treats those shards as dirty).
+            generations.append(1)
+            fingerprints.append(None)
         filters.append(loads(reader.bytes_field()))
     return ShardedFilterStore.from_parts(
         filters=filters,
         router_seed=router_seed,
         backend_name=backend_name,
         shard_key_counts=key_counts,
+        shard_generations=generations,
+        shard_fingerprints=fingerprints,
     )
 
 
@@ -443,6 +726,10 @@ def _decode_store(reader: _Reader) -> Any:
 # --------------------------------------------------------------------- #
 def dumps(obj: Any) -> bytes:
     """Serialize a supported filter structure into one binary frame."""
+    from repro.baselines.learned.adabf import AdaptiveLearnedBloomFilter
+    from repro.baselines.learned.lbf import LearnedBloomFilter
+    from repro.baselines.learned.model import KeyScoreModel
+    from repro.baselines.learned.slbf import SandwichedLearnedBloomFilter
     from repro.kvstore.filter_policy import AlwaysContainsFilter
     from repro.service.shards import EmptyShardFilter, ShardedFilterStore
 
@@ -469,6 +756,21 @@ def dumps(obj: Any) -> bytes:
     elif isinstance(obj, XorFilter):
         tag = TAG_XOR
         _encode_xor(writer, obj)
+    elif isinstance(obj, WeightedBloomFilter):
+        tag = TAG_WBF
+        _encode_wbf(writer, obj)
+    elif isinstance(obj, KeyScoreModel):
+        tag = TAG_SCORE_MODEL
+        _encode_model(writer, obj)
+    elif isinstance(obj, LearnedBloomFilter):
+        tag = TAG_LBF
+        _encode_lbf(writer, obj)
+    elif isinstance(obj, SandwichedLearnedBloomFilter):
+        tag = TAG_SLBF
+        _encode_slbf(writer, obj)
+    elif isinstance(obj, AdaptiveLearnedBloomFilter):
+        tag = TAG_ADABF
+        _encode_adabf(writer, obj)
     elif isinstance(obj, BitArray):
         tag = TAG_BITARRAY
         _encode_bitarray(writer, obj)
@@ -476,6 +778,7 @@ def dumps(obj: Any) -> bytes:
         raise CodecError(
             f"cannot serialize object of type {type(obj).__name__}; supported: "
             "BitArray, BloomFilter, HashExpressor, HABF, FastHABF, XorFilter, "
+            "WeightedBloomFilter, KeyScoreModel, LBF, SLBF, Ada-BF, "
             "ShardedFilterStore and the degenerate shard/table filters"
         )
     payload = writer.getvalue()
@@ -498,9 +801,10 @@ def loads(data: bytes) -> Any:
     magic, version, tag, length = _HEADER.unpack_from(data)
     if magic != FRAME_MAGIC:
         raise CodecError(f"bad frame magic {magic!r} (expected {FRAME_MAGIC!r})")
-    if version != CODEC_VERSION:
+    if version not in READABLE_VERSIONS:
         raise CodecError(
-            f"unsupported frame version {version} (this codec reads version {CODEC_VERSION})"
+            f"unsupported frame version {version} (this codec reads versions "
+            f"{', '.join(map(str, READABLE_VERSIONS))})"
         )
     end = _HEADER.size + length
     if len(data) != end + 4:
@@ -529,8 +833,18 @@ def loads(data: bytes) -> Any:
             result = _decode_habf(reader, FastHABF)
         elif tag == TAG_XOR:
             result = _decode_xor(reader)
+        elif tag == TAG_WBF:
+            result = _decode_wbf(reader)
+        elif tag == TAG_SCORE_MODEL:
+            result = _decode_model(reader)
+        elif tag == TAG_LBF:
+            result = _decode_lbf(reader)
+        elif tag == TAG_SLBF:
+            result = _decode_slbf(reader)
+        elif tag == TAG_ADABF:
+            result = _decode_adabf(reader)
         elif tag == TAG_SHARDED_STORE:
-            result = _decode_store(reader)
+            result = _decode_store(reader, version)
         elif tag == TAG_EMPTY_SHARD:
             from repro.service.shards import EmptyShardFilter
 
@@ -550,6 +864,24 @@ def loads(data: bytes) -> Any:
         # CodecError for every malformed frame, so normalise here.
         raise CodecError(f"malformed frame payload: {exc}") from exc
     return result
+
+
+def loads_as(data: bytes, cls: type) -> Any:
+    """Decode one frame and require the result to be an instance of ``cls``.
+
+    The typed twin of :func:`loads`, used by the ``from_frame`` classmethods
+    on the filter classes.
+
+    Raises:
+        CodecError: for every malformed frame, and additionally when the
+            frame decodes to a different structure than ``cls``.
+    """
+    obj = loads(data)
+    if not isinstance(obj, cls):
+        raise CodecError(
+            f"frame holds {type(obj).__name__}, expected {cls.__name__}"
+        )
+    return obj
 
 
 def dump(obj: Any, path) -> int:

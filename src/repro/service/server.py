@@ -28,7 +28,7 @@ from typing import List, Mapping, Optional, Sequence
 from repro.errors import ServiceError
 from repro.hashing import vectorized as vec
 from repro.hashing.base import Key
-from repro.metrics.timing import latency_percentiles
+from repro.metrics.timing import Stopwatch, latency_percentiles
 from repro.service import codec
 from repro.service.backends import BackendSpec
 from repro.service.shards import ShardedFilterStore
@@ -43,11 +43,17 @@ class Snapshot:
         generation: Monotonically increasing version number (1 = first load).
         store: The sharded filter store answering this generation's queries.
         num_keys: Positive keys the store was built from.
+        build_params: The backend spec and kwargs the store was built with,
+            or ``None`` when unknown (e.g. installed from a codec snapshot).
+            Incremental rebuilds only reuse clean shards when these match
+            the service's current configuration — a shard built at 8
+            bits/key must not survive into generations configured for 16.
     """
 
     generation: int
     store: ShardedFilterStore
     num_keys: int
+    build_params: Optional[tuple] = None
 
 
 @dataclass(frozen=True)
@@ -86,9 +92,14 @@ class MembershipService:
             with a :class:`~repro.errors.ServiceError` (and counted), so one
             malformed caller cannot stall the service.
         router_seed: Seed for the shard router (stable across generations, so
-            placement — and therefore shard-level stats — stays comparable).
+            placement — and therefore shard-level stats — stays comparable,
+            and incremental rebuilds can diff shard fingerprints at all).
         latency_window: Number of recent per-key latency samples kept for the
             percentile report.
+        build_workers: Default worker count for every build and rebuild
+            (``None``/1 = sequential; see
+            :meth:`~repro.service.shards.ShardedFilterStore.build`).  A
+            per-call ``workers`` argument overrides it.
         backend_kwargs: Forwarded to the backend factory when ``backend`` is
             a name (e.g. ``bits_per_key=12.0``).
     """
@@ -100,6 +111,7 @@ class MembershipService:
         max_batch_size: int = 65536,
         router_seed: int = 0,
         latency_window: int = 4096,
+        build_workers: Optional[int] = None,
         **backend_kwargs,
     ) -> None:
         if num_shards < 1:
@@ -111,24 +123,38 @@ class MembershipService:
         self._num_shards = num_shards
         self._max_batch_size = max_batch_size
         self._router_seed = router_seed
+        self._build_workers = build_workers
         self._snapshot: Optional[Snapshot] = None
         self._swap_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._latency = LatencyWindow(latency_window)
+        self._rebuild_latency = LatencyWindow(128)
         self._queries = 0
         self._batches = 0
         self._rejected_batches = 0
         self._positives = 0
         self._rebuilds = 0
+        self._shards_rebuilt = 0
+        self._shards_skipped = 0
 
     # ------------------------------------------------------------------ #
     # Loading and rebuilding
     # ------------------------------------------------------------------ #
+    def _build_signature(self) -> tuple:
+        """The comparable identity of this service's build configuration.
+
+        A string backend compares by name; a policy instance compares by
+        object equality (the same instance keeps matching, a restored or
+        reconstructed one does not — conservatively forcing a full rebuild).
+        """
+        return (self._backend, tuple(sorted(self._backend_kwargs.items())))
+
     def _build_store(
         self,
         keys: Sequence[Key],
         negatives: Sequence[Key],
         costs: Optional[Mapping[Key, float]],
+        workers: Optional[int],
     ) -> ShardedFilterStore:
         return ShardedFilterStore.build(
             keys,
@@ -137,43 +163,116 @@ class MembershipService:
             num_shards=self._num_shards,
             backend=self._backend,
             router_seed=self._router_seed,
+            workers=workers,
             **self._backend_kwargs,
         )
+
+    def _construct_generation(
+        self,
+        previous: Optional[Snapshot],
+        keys: List[Key],
+        negatives: List[Key],
+        costs: Optional[Mapping[Key, float]],
+        changed_keys: Optional[Sequence[Key]],
+        incremental: bool,
+        workers: Optional[int],
+    ):
+        """Build the next store, incrementally when the previous one allows it.
+
+        Incremental reconstruction needs comparable shard placement (same
+        shard count and router seed) and a previous generation *known* to be
+        built with the service's exact backend configuration; otherwise —
+        and on the first load — every shard is built.  (A snapshot installed
+        via :meth:`install_snapshot` records no build parameters, so the
+        first rebuild after a restore is always full.)
+        """
+        if incremental and previous is not None:
+            store = previous.store
+            if (
+                store.num_shards == self._num_shards
+                and store.router_seed == self._router_seed
+                and previous.build_params is not None
+                and previous.build_params == self._build_signature()
+            ):
+                return ShardedFilterStore.rebuild_from(
+                    store,
+                    keys,
+                    negatives=negatives,
+                    costs=costs,
+                    backend=self._backend,
+                    changed_keys=changed_keys,
+                    workers=workers,
+                    **self._backend_kwargs,
+                )
+        full = self._build_store(keys, negatives, costs, workers)
+        return full, list(range(full.num_shards)), []
 
     def load(
         self,
         keys: Sequence[Key],
         negatives: Sequence[Key] = (),
         costs: Optional[Mapping[Key, float]] = None,
+        workers: Optional[int] = None,
     ) -> int:
         """Build the first generation and start serving; returns its number.
 
         On a service that is already serving this behaves exactly like
         :meth:`rebuild`.
         """
-        return self.rebuild(keys, negatives=negatives, costs=costs)
+        return self.rebuild(keys, negatives=negatives, costs=costs, workers=workers)
 
     def rebuild(
         self,
         keys: Sequence[Key],
         negatives: Sequence[Key] = (),
         costs: Optional[Mapping[Key, float]] = None,
+        changed_keys: Optional[Sequence[Key]] = None,
+        incremental: bool = True,
+        workers: Optional[int] = None,
     ) -> int:
         """Build a new generation from ``keys`` and atomically swap it in.
 
         The current snapshot keeps serving until the new store is fully
         built; the swap itself is a single reference assignment under a lock
         (the lock serialises concurrent rebuilds, not queries).
+
+        By default the rebuild is *incremental*: the new key set is diffed
+        against the serving snapshot's per-shard fingerprints and only dirty
+        shards are reconstructed — with one shard's keys changed, the other
+        shards swap over untouched (their per-shard generations do not move).
+        ``changed_keys`` additionally forces the shards those keys route to
+        (use it when only *negatives or costs* changed for some shard, which
+        the positive-key diff cannot see).  ``incremental=False`` forces a
+        full rebuild.  ``workers`` parallelises the dirty-shard builds
+        (default: the service's ``build_workers``).
+
+        Returns the new service generation.
         """
         keys = list(keys)
-        store = self._build_store(keys, list(negatives), costs)
+        negatives = list(negatives)
+        if workers is None:
+            workers = self._build_workers
+        previous = self._snapshot
+        watch = Stopwatch()
+        with watch:
+            store, rebuilt, skipped = self._construct_generation(
+                previous, keys, negatives, costs, changed_keys, incremental, workers
+            )
         with self._swap_lock:
-            previous = self._snapshot
-            generation = previous.generation + 1 if previous else 1
-            self._snapshot = Snapshot(generation=generation, store=store, num_keys=len(keys))
-            if previous is not None:
-                with self._stats_lock:
+            current = self._snapshot
+            generation = current.generation + 1 if current else 1
+            self._snapshot = Snapshot(
+                generation=generation,
+                store=store,
+                num_keys=len(keys),
+                build_params=self._build_signature(),
+            )
+            with self._stats_lock:
+                if current is not None:
                     self._rebuilds += 1
+                self._shards_rebuilt += len(rebuilt)
+                self._shards_skipped += len(skipped)
+                self._rebuild_latency.record(watch.seconds)
         return generation
 
     def install_snapshot(self, store: ShardedFilterStore, num_keys: Optional[int] = None) -> int:
@@ -307,9 +406,12 @@ class MembershipService:
                 self._rejected_batches,
                 self._positives,
                 self._rebuilds,
+                self._shards_rebuilt,
+                self._shards_skipped,
             )
             samples = self._latency.samples()
-        queries, batches, rejected, positives, rebuilds = counters
+            rebuild_samples = self._rebuild_latency.samples()
+        queries, batches, rejected, positives, rebuilds, built, skipped = counters
         return ServiceStats(
             generation=snapshot.generation if snapshot else 0,
             num_keys=snapshot.num_keys if snapshot else 0,
@@ -318,8 +420,13 @@ class MembershipService:
             rejected_batches=rejected,
             positives=positives,
             rebuilds=rebuilds,
+            shards_rebuilt=built,
+            shards_skipped=skipped,
             shards=snapshot.store.shard_stats() if snapshot else [],
             latency=latency_percentiles(samples) if samples else None,
+            rebuild_latency=(
+                latency_percentiles(rebuild_samples) if rebuild_samples else None
+            ),
         )
 
     def save_snapshot(self, path) -> int:

@@ -4,23 +4,30 @@ Sharding serves three purposes the single-filter core cannot:
 
 * **construction scale** — TPJO construction is superlinear-ish in practice;
   building N filters over N-times-smaller key sets is faster and bounds the
-  per-filter hash-family pressure;
+  per-filter hash-family pressure; independent shards also parallelise
+  (``build(..., workers=N)`` constructs them on a process or thread pool,
+  process workers handing finished shards back as codec frames);
 * **rebuild granularity** — the serving layer swaps whole stores atomically,
-  and smaller shards keep each build step short;
+  and per-shard key-set fingerprints let a rebuild skip every shard whose
+  keys did not change (:meth:`ShardedFilterStore.rebuild_from`);
 * **batch locality** — ``query_many`` groups a batch's keys per shard and
   answers each group with one ``contains_many`` call, the pattern a gateway
   checking a page full of URLs produces.
 
 The router hashes keys with a hash that is *independent* of every filter's
 own hash family (a salted xxhash), so shard placement never correlates with
-filter false positives.
+filter false positives.  The same per-key hash also feeds the shard
+*fingerprint* — an order-independent 64-bit digest of a shard's key multiset
+— so detecting which shards a new key set dirties costs nothing beyond the
+routing pass that partitions it.
 """
 
 from __future__ import annotations
 
 import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import replace
-from typing import Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.hashing import vectorized as vec
@@ -28,6 +35,12 @@ from repro.hashing.base import Key, mix64, normalize_key
 from repro.hashing.primitives import xxhash
 from repro.service.backends import BackendSpec, resolve_backend
 from repro.service.stats import ShardStats
+
+#: Salt separating the fingerprint digest from the routing hash (same 64-bit
+#: xxhash pass, different mixes), so placement and fingerprints stay
+#: statistically independent.
+_FINGERPRINT_SALT = 0x4650_5244_4947_5354  # "FPRDIGST"
+_MASK64 = (1 << 64) - 1
 
 
 class EmptyShardFilter:
@@ -78,6 +91,20 @@ class ShardRouter:
         """Return the shard index ``key`` routes to."""
         return mix64(xxhash(normalize_key(key)) ^ self._salt) % self._num_shards
 
+    def route(self, key: Key) -> Tuple[int, int]:
+        """Shard index plus the key's fingerprint contribution.
+
+        Both derive from one xxhash evaluation: the placement mixes the hash
+        with the router salt, the fingerprint contribution mixes it with a
+        fixed digest salt.  Summing contributions (mod 2^64) over a shard's
+        keys yields an order-independent digest of its key multiset.
+        """
+        value = xxhash(normalize_key(key))
+        return (
+            mix64(value ^ self._salt) % self._num_shards,
+            mix64(value ^ _FINGERPRINT_SALT),
+        )
+
     def shard_of_many(self, batch: "vec.KeyBatch"):
         """Vector form of :meth:`shard_of` over an encoded batch.
 
@@ -90,12 +117,62 @@ class ShardRouter:
         return (salted % np.uint64(self._num_shards)).astype(np.int64)
 
 
+def _build_shard_frame(
+    backend_name: str,
+    backend_kwargs: dict,
+    keys: List[Key],
+    negatives: List[Key],
+    costs: Optional[Dict[Key, float]],
+) -> bytes:
+    """Process-pool worker: build one shard's filter, return its codec frame.
+
+    The policy is re-instantiated inside the worker from its registered name
+    (policy objects never cross the process boundary), and the finished
+    filter crosses back as one self-describing codec frame — the same bytes
+    a snapshot would hold, so "parallel-buildable" and "persistable" are the
+    same property.
+    """
+    from repro.service import codec
+    from repro.service.backends import get_backend
+
+    policy = get_backend(backend_name, **backend_kwargs)
+    return codec.dumps(policy.create_filter(keys, negatives=negatives, costs=costs))
+
+
+def _process_pool(workers: int) -> ProcessPoolExecutor:
+    """A process pool whose start method matches the parent's thread state.
+
+    ``fork`` is cheapest and — unlike ``forkserver``/``spawn`` — never
+    re-imports ``__main__`` (so it works from a REPL or a stdin script),
+    but forking a *multithreaded* process can deadlock children on locks
+    some other thread held at fork time, and a hot rebuild runs exactly
+    there: next to live query threads.  So: fork while the process is still
+    single-threaded (always safe), forkserver once threads exist (forks
+    from a clean single-threaded server process), default context (spawn)
+    where neither is available.
+    """
+    import multiprocessing
+    import threading
+
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods and threading.active_count() == 1:
+        context = multiprocessing.get_context("fork")
+    elif "forkserver" in methods:
+        context = multiprocessing.get_context("forkserver")
+    else:  # pragma: no cover - Windows
+        context = multiprocessing.get_context()
+    return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+
 class ShardedFilterStore:
     """A fixed set of filters, one per shard, built by a shared backend.
 
-    Build one with :meth:`build`; query with :meth:`query` /
-    :meth:`query_many`; persist with :func:`repro.service.codec.dumps` (the
-    whole store is one frame) and revive with ``loads``.
+    Build one with :meth:`build` (``workers=N`` constructs independent
+    shards concurrently); rebuild only the shards whose key sets changed
+    with :meth:`rebuild_from`; query with :meth:`query` / :meth:`query_many`;
+    persist with :func:`repro.service.codec.dumps` (the whole store is one
+    frame, including per-shard generations and fingerprints) and revive with
+    ``loads``.
     """
 
     def __init__(
@@ -104,21 +181,43 @@ class ShardedFilterStore:
         router_seed: int = 0,
         backend_name: str = "unknown",
         shard_key_counts: Optional[Sequence[int]] = None,
+        shard_generations: Optional[Sequence[int]] = None,
+        shard_fingerprints: Optional[Sequence[Optional[int]]] = None,
     ) -> None:
         if not filters:
             raise ConfigurationError("a sharded store needs at least one shard")
         self._filters: List[object] = list(filters)
-        self._router = ShardRouter(len(self._filters), seed=router_seed)
+        num_shards = len(self._filters)
+        self._router = ShardRouter(num_shards, seed=router_seed)
         self._router_seed = router_seed
         self._backend_name = backend_name
-        counts = list(shard_key_counts) if shard_key_counts is not None else [0] * len(self._filters)
-        if len(counts) != len(self._filters):
-            raise ConfigurationError(
-                f"shard_key_counts length {len(counts)} != shard count {len(self._filters)}"
-            )
+        counts = list(shard_key_counts) if shard_key_counts is not None else [0] * num_shards
+        generations = (
+            list(shard_generations) if shard_generations is not None else [1] * num_shards
+        )
+        fingerprints = (
+            list(shard_fingerprints)
+            if shard_fingerprints is not None
+            else [None] * num_shards
+        )
+        for label, values in (
+            ("shard_key_counts", counts),
+            ("shard_generations", generations),
+            ("shard_fingerprints", fingerprints),
+        ):
+            if len(values) != num_shards:
+                raise ConfigurationError(
+                    f"{label} length {len(values)} != shard count {num_shards}"
+                )
+        self._shard_fingerprints: List[Optional[int]] = fingerprints
         self._stats = [
-            ShardStats(shard=index, num_keys=counts[index], size_in_bits=self._filter_bits(index))
-            for index in range(len(self._filters))
+            ShardStats(
+                shard=index,
+                num_keys=counts[index],
+                size_in_bits=self._filter_bits(index),
+                generation=generations[index],
+            )
+            for index in range(num_shards)
         ]
         # Counter updates are read-modify-write; the serving layer queries
         # from multiple threads, so they need their own lock (queries
@@ -128,6 +227,152 @@ class ShardedFilterStore:
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _partition(
+        router: ShardRouter,
+        keys: Sequence[Key],
+        negatives: Sequence[Key],
+        costs: Optional[Mapping[Key, float]],
+    ) -> Tuple[List[List[Key]], List[List[Key]], List[Optional[dict]], List[int]]:
+        """Split keys/negatives/costs per shard and digest each key set.
+
+        With numpy available, placement and fingerprint contributions come
+        from one vectorized xxhash pass (bit-identical to the scalar
+        :meth:`ShardRouter.route`, like every engine twin) — this matters
+        because the partition runs on *every* rebuild, including incremental
+        ones that then rebuild only a single shard.
+        """
+        num_shards = router.num_shards
+        shard_keys: List[List[Key]] = [[] for _ in range(num_shards)]
+        fingerprints = [0] * num_shards
+        np = vec.numpy_or_none()
+        if np is not None and len(keys):
+            batch = keys if isinstance(keys, vec.KeyBatch) else vec.KeyBatch(list(keys))
+            values = vec.hash_batch(xxhash, batch)
+            shards = (
+                vec.mix64(values ^ np.uint64(router.seed_salt))
+                % np.uint64(num_shards)
+            ).astype(np.int64)
+            contributions = vec.mix64(values ^ np.uint64(_FINGERPRINT_SALT))
+            digests = np.zeros(num_shards, dtype=np.uint64)
+            np.add.at(digests, shards, contributions)  # uint64 addition wraps
+            fingerprints = [int(value) for value in digests]
+            for key, shard in zip(batch.keys, shards.tolist()):
+                shard_keys[shard].append(key)
+        else:
+            for key in keys:
+                shard, contribution = router.route(key)
+                shard_keys[shard].append(key)
+                fingerprints[shard] = (fingerprints[shard] + contribution) & _MASK64
+        shard_negatives: List[List[Key]] = [[] for _ in range(num_shards)]
+        if negatives:
+            negatives = list(negatives)
+            if np is not None:
+                routed = router.shard_of_many(vec.KeyBatch(negatives)).tolist()
+            else:
+                routed = [router.shard_of(key) for key in negatives]
+            for key, shard in zip(negatives, routed):
+                shard_negatives[shard].append(key)
+        shard_costs: List[Optional[dict]] = [None] * num_shards
+        if costs:
+            shard_costs = [
+                {key: costs[key] for key in group if key in costs}
+                for group in shard_negatives
+            ]
+        return shard_keys, shard_negatives, shard_costs, fingerprints
+
+    @classmethod
+    def _build_filters(
+        cls,
+        backend: BackendSpec,
+        backend_kwargs: dict,
+        policy,
+        shard_keys: List[List[Key]],
+        shard_negatives: List[List[Key]],
+        shard_costs: List[Optional[dict]],
+        shards: Sequence[int],
+        workers: Optional[int],
+        worker_mode: str,
+    ) -> Dict[int, object]:
+        """Build the filters for ``shards``, optionally on a worker pool.
+
+        ``worker_mode``: ``"process"`` re-instantiates the (string-named)
+        backend in each worker and ships finished shards back as codec
+        frames — true CPU parallelism, the mode rebuild latency cares about;
+        ``"thread"`` shares the policy object and skips serialization (right
+        for policy *instances* and for backends whose build is numpy-bound);
+        ``"auto"`` picks process for a *built-in* backend name and thread
+        otherwise — a custom ``register_backend`` name may not resolve
+        inside a forkserver/spawn worker's fresh interpreter, so auto never
+        risks it (pass ``worker_mode="process"`` explicitly to assert your
+        registration is importable in workers).
+        """
+        built: Dict[int, object] = {}
+        pending = []
+        for shard in shards:
+            if shard_keys[shard]:
+                pending.append(shard)
+            else:
+                built[shard] = EmptyShardFilter()
+        pool_size = min(workers or 1, len(pending))
+        if pool_size <= 1:
+            for shard in pending:
+                built[shard] = policy.create_filter(
+                    shard_keys[shard],
+                    negatives=shard_negatives[shard],
+                    costs=shard_costs[shard],
+                )
+            return built
+        mode = worker_mode
+        if mode == "auto":
+            from repro.service.backends import BUILTIN_BACKENDS
+
+            mode = "process" if backend in BUILTIN_BACKENDS else "thread"
+        if mode == "process":
+            if not isinstance(backend, str):
+                raise ConfigurationError(
+                    "process workers need a registered backend name (the policy "
+                    "is re-instantiated inside each worker); pass "
+                    "worker_mode='thread' to parallelise a policy instance"
+                )
+            from repro.service import codec
+
+            with _process_pool(pool_size) as executor:
+                futures = {
+                    shard: executor.submit(
+                        _build_shard_frame,
+                        backend,
+                        backend_kwargs,
+                        shard_keys[shard],
+                        shard_negatives[shard],
+                        shard_costs[shard],
+                    )
+                    for shard in pending
+                }
+                for shard, future in futures.items():
+                    built[shard] = codec.loads(future.result())
+        elif mode == "thread":
+            with ThreadPoolExecutor(
+                max_workers=pool_size, thread_name_prefix="shard-build"
+            ) as executor:
+                futures = {
+                    shard: executor.submit(
+                        policy.create_filter,
+                        shard_keys[shard],
+                        negatives=shard_negatives[shard],
+                        costs=shard_costs[shard],
+                    )
+                    for shard in pending
+                }
+                for shard, future in futures.items():
+                    built[shard] = future.result()
+        else:
+            raise ConfigurationError(
+                f"unknown worker_mode {worker_mode!r}; expected 'auto', "
+                "'process' or 'thread'"
+            )
+        return built
+
     @classmethod
     def build(
         cls,
@@ -137,6 +382,8 @@ class ShardedFilterStore:
         num_shards: int = 4,
         backend: BackendSpec = "habf",
         router_seed: int = 0,
+        workers: Optional[int] = None,
+        worker_mode: str = "auto",
         **backend_kwargs,
     ) -> "ShardedFilterStore":
         """Partition ``keys`` across ``num_shards`` filters and build each one.
@@ -144,41 +391,119 @@ class ShardedFilterStore:
         Negative keys (and their costs) are routed to the same shards their
         hashes select, so each shard's filter is steered only by the negatives
         it can actually be queried with.
+
+        ``workers`` > 1 builds shards concurrently (see
+        :meth:`_build_filters` for the mode semantics); the result is
+        bit-identical to a sequential build because every backend constructs
+        deterministically from its shard's keys.
         """
         keys = list(keys)
         if not keys:
             raise ConfigurationError("cannot build a sharded store from an empty key set")
         policy = resolve_backend(backend, **backend_kwargs)
         router = ShardRouter(num_shards, seed=router_seed)
-        shard_keys: List[List[Key]] = [[] for _ in range(num_shards)]
-        for key in keys:
-            shard_keys[router.shard_of(key)].append(key)
-        shard_negatives: List[List[Key]] = [[] for _ in range(num_shards)]
-        for key in negatives:
-            shard_negatives[router.shard_of(key)].append(key)
-        filters: List[object] = []
-        for shard in range(num_shards):
-            if not shard_keys[shard]:
-                filters.append(EmptyShardFilter())
-                continue
-            shard_costs = None
-            if costs:
-                shard_costs = {
-                    key: costs[key] for key in shard_negatives[shard] if key in costs
-                }
-            filters.append(
-                policy.create_filter(
-                    shard_keys[shard],
-                    negatives=shard_negatives[shard],
-                    costs=shard_costs,
-                )
-            )
+        shard_keys, shard_negatives, shard_costs, fingerprints = cls._partition(
+            router, keys, negatives, costs
+        )
+        built = cls._build_filters(
+            backend,
+            backend_kwargs,
+            policy,
+            shard_keys,
+            shard_negatives,
+            shard_costs,
+            range(num_shards),
+            workers,
+            worker_mode,
+        )
         return cls(
-            filters=filters,
+            filters=[built[shard] for shard in range(num_shards)],
             router_seed=router_seed,
             backend_name=getattr(policy, "name", type(policy).__name__),
             shard_key_counts=[len(group) for group in shard_keys],
+            shard_fingerprints=fingerprints,
         )
+
+    @classmethod
+    def rebuild_from(
+        cls,
+        previous: "ShardedFilterStore",
+        keys: Sequence[Key],
+        negatives: Sequence[Key] = (),
+        costs: Optional[Mapping[Key, float]] = None,
+        backend: BackendSpec = "habf",
+        changed_keys: Optional[Iterable[Key]] = None,
+        workers: Optional[int] = None,
+        worker_mode: str = "auto",
+        **backend_kwargs,
+    ) -> Tuple["ShardedFilterStore", List[int], List[int]]:
+        """Build a successor store, reconstructing only the dirty shards.
+
+        A shard is dirty when its key-set fingerprint (or key count) differs
+        from ``previous``, when ``previous`` has no fingerprint for it (e.g.
+        a version-1 snapshot), or when ``changed_keys`` routes to it — the
+        hint lets callers force shards whose *negatives or costs* changed,
+        which the positive-key fingerprint cannot see.  Clean shards share
+        the previous store's filter objects (immutable, so sharing is safe)
+        and keep their per-shard generation; dirty shards rebuild (on
+        ``workers`` like :meth:`build`) and increment it.
+
+        Returns ``(store, rebuilt_shards, skipped_shards)``.
+        """
+        keys = list(keys)
+        if not keys:
+            raise ConfigurationError("cannot rebuild a sharded store from an empty key set")
+        policy = resolve_backend(backend, **backend_kwargs)
+        router = previous._router
+        shard_keys, shard_negatives, shard_costs, fingerprints = cls._partition(
+            router, keys, negatives, costs
+        )
+        previous_counts = previous.shard_key_counts
+        previous_fingerprints = previous.shard_fingerprints
+        dirty = set()
+        for shard in range(router.num_shards):
+            known = previous_fingerprints[shard]
+            if (
+                known is None
+                or known != fingerprints[shard]
+                or previous_counts[shard] != len(shard_keys[shard])
+            ):
+                dirty.add(shard)
+        if changed_keys is not None:
+            for key in changed_keys:
+                dirty.add(router.shard_of(key))
+        built = cls._build_filters(
+            backend,
+            backend_kwargs,
+            policy,
+            shard_keys,
+            shard_negatives,
+            shard_costs,
+            sorted(dirty),
+            workers,
+            worker_mode,
+        )
+        previous_generations = previous.shard_generations
+        filters: List[object] = []
+        generations: List[int] = []
+        for shard in range(router.num_shards):
+            if shard in dirty:
+                filters.append(built[shard])
+                generations.append(previous_generations[shard] + 1)
+            else:
+                filters.append(previous.filters[shard])
+                generations.append(previous_generations[shard])
+        store = cls(
+            filters=filters,
+            router_seed=previous.router_seed,
+            backend_name=getattr(policy, "name", type(policy).__name__),
+            shard_key_counts=[len(group) for group in shard_keys],
+            shard_generations=generations,
+            shard_fingerprints=fingerprints,
+        )
+        rebuilt = sorted(dirty)
+        skipped = [shard for shard in range(router.num_shards) if shard not in dirty]
+        return store, rebuilt, skipped
 
     @classmethod
     def from_parts(
@@ -187,6 +512,8 @@ class ShardedFilterStore:
         router_seed: int,
         backend_name: str,
         shard_key_counts: Optional[Sequence[int]] = None,
+        shard_generations: Optional[Sequence[int]] = None,
+        shard_fingerprints: Optional[Sequence[Optional[int]]] = None,
     ) -> "ShardedFilterStore":
         """Reassemble a store from decoded parts (used by the codec)."""
         return cls(
@@ -194,6 +521,8 @@ class ShardedFilterStore:
             router_seed=router_seed,
             backend_name=backend_name,
             shard_key_counts=shard_key_counts,
+            shard_generations=shard_generations,
+            shard_fingerprints=shard_fingerprints,
         )
 
     # ------------------------------------------------------------------ #
@@ -223,6 +552,19 @@ class ShardedFilterStore:
     def shard_key_counts(self) -> List[int]:
         """Positive keys per shard at build time."""
         return [stats.num_keys for stats in self._stats]
+
+    @property
+    def shard_generations(self) -> List[int]:
+        """Per-shard rebuild counters (a shard's generation only moves when
+        that shard is actually reconstructed; contrast the service-level
+        generation, which moves on every snapshot swap)."""
+        return [stats.generation for stats in self._stats]
+
+    @property
+    def shard_fingerprints(self) -> List[Optional[int]]:
+        """Order-independent digests of each shard's key multiset (``None``
+        when unknown, e.g. a store assembled from parts without them)."""
+        return list(self._shard_fingerprints)
 
     def shard_stats(self) -> List[ShardStats]:
         """Point-in-time copies of the per-shard counters."""

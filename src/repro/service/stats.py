@@ -24,6 +24,9 @@ class ShardStats:
         queries: Membership tests answered by this shard.
         positives: Tests answered "present".
         size_in_bits: Serialized size of the shard's filter.
+        generation: How many times this shard has been (re)built.  An
+            incremental rebuild only advances the generations of the shards
+            it reconstructed; the service generation advances on every swap.
     """
 
     shard: int
@@ -31,6 +34,7 @@ class ShardStats:
     queries: int = 0
     positives: int = 0
     size_in_bits: int = 0
+    generation: int = 1
 
 
 @dataclass
@@ -86,10 +90,17 @@ class ServiceStats:
         rejected_batches: ``query_many`` calls refused (oversized or empty).
         positives: Tests answered "present".
         rebuilds: Completed hot rebuilds (generation swaps after the first load).
+        shards_rebuilt: Shards actually reconstructed across every build and
+            rebuild (the first load counts all of its shards).
+        shards_skipped: Shards an incremental rebuild left untouched because
+            their key-set fingerprints matched the previous snapshot.
         shards: Per-shard counters, in shard order.
         latency: Percentile summary of recent latency samples (scalar calls
             are true per-key latencies; each batch contributes its per-key
             average as one sample), or ``None`` before the first query.
+        rebuild_latency: Percentile summary of recent build/rebuild
+            wall-clock durations (one sample per completed swap), or ``None``
+            before the first load.
         batching: Micro-batcher counters when the snapshot was taken through
             an async front-end's ``stats()``; ``None`` for a bare service.
     """
@@ -101,8 +112,11 @@ class ServiceStats:
     rejected_batches: int
     positives: int
     rebuilds: int
+    shards_rebuilt: int = 0
+    shards_skipped: int = 0
     shards: List[ShardStats] = field(default_factory=list)
     latency: Optional[LatencyPercentiles] = None
+    rebuild_latency: Optional[LatencyPercentiles] = None
     batching: Optional[MicroBatchStats] = None
 
 

@@ -20,7 +20,7 @@ size so the experiment harness can scale up when more time is available.
 from __future__ import annotations
 
 import random
-from typing import List, Sequence, Set
+from typing import List, Set
 
 from repro.errors import ConfigurationError
 from repro.workloads.dataset import MembershipDataset

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import pytest
 
+pytest.importorskip("numpy")  # the learned baselines train in numpy
+
 from repro.baselines.learned.adabf import AdaptiveLearnedBloomFilter
 from repro.baselines.learned.lbf import LearnedBloomFilter
 from repro.baselines.learned.slbf import SandwichedLearnedBloomFilter

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import pytest
 
+pytest.importorskip("numpy")  # run_all regenerates figures that train learned filters
+
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import ExperimentResult
 from repro.experiments.run_all import ALL_FIGURES, run_all, summarize

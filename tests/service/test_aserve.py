@@ -456,3 +456,111 @@ def test_http_negative_content_length_is_a_400(service):
             return head.decode()
 
     assert " 400 " in run(scenario())
+
+
+async def _http_error_exchange(host, port, raw: bytes):
+    """Send ``raw``, return (status line, headers, close-observed).
+
+    ``close-observed`` is True only if the server actually shut the socket:
+    ``reader.read()`` must reach EOF without the client half-closing first.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(raw)
+    await writer.drain()
+    writer.write_eof()  # client is done sending; response + EOF must follow
+    payload = await asyncio.wait_for(reader.read(), timeout=5.0)
+    closed = reader.at_eof()
+    writer.close()
+    head, _, _body = payload.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    return lines[0], lines[1:], closed
+
+
+def test_http_pipelined_second_request_does_not_destroy_the_response(service):
+    """A pipelining client must still receive the first response intact.
+
+    The server answers one request per connection; a second request sitting
+    unread in the receive buffer at close time would trigger an RST that
+    can destroy the 200 still in flight.  The success path drains before
+    closing, so the client sees the complete response and then EOF.
+    """
+
+    async def scenario():
+        async with AsyncMembershipServer(service, max_wait_ms=1.0) as server:
+            host, port = await server.start_http()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                f"GET /query?key={POSITIVES[0]} HTTP/1.1\r\nHost: t\r\n\r\n".encode()
+                + b"GET /generation HTTP/1.1\r\nHost: t\r\n\r\n"
+            )
+            await writer.drain()
+            payload = await asyncio.wait_for(reader.read(), timeout=5.0)
+            writer.close()
+            return payload
+
+    payload = run(scenario())
+    head, _, body = payload.partition(b"\r\n\r\n")
+    assert b" 200 " in head.splitlines()[0] + b" "
+    assert json.loads(body) == {"key": POSITIVES[0], "member": True, "generation": 1}
+
+
+
+@pytest.mark.parametrize(
+    "raw, expected_status",
+    [
+        # Request line overrunning the 1 MiB stream limit → 414.
+        (b"GET /" + b"x" * (2 << 20) + b" HTTP/1.1\r\n\r\n", "414"),
+        # A single header line overrunning the stream limit → 431.
+        (
+            b"GET /generation HTTP/1.1\r\nX-Junk: " + b"y" * (2 << 20) + b"\r\n\r\n",
+            "431",
+        ),
+        # Malformed request line → 400.
+        (b"NONSENSE\r\n\r\n", "400"),
+        # Body shorter than its declared Content-Length → 400.
+        (
+            b"POST /query_many HTTP/1.1\r\nHost: t\r\nContent-Length: 50\r\n\r\nshort",
+            "400",
+        ),
+        # Undecodable JSON body → 400 (routed through the handler proper).
+        (
+            b"POST /query_many HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\n\r\n[oops",
+            "400",
+        ),
+        # Oversized body that is actually sent → 413, and the response must
+        # survive the unread megabytes (the handler drains before closing).
+        (
+            b"POST /query_many HTTP/1.1\r\nHost: t\r\nContent-Length: 2000000\r\n\r\n"
+            + b"x" * 2_000_000,
+            "413",
+        ),
+    ],
+    ids=[
+        "oversized-line",
+        "oversized-header",
+        "bad-request-line",
+        "truncated-body",
+        "bad-json",
+        "oversized-body-sent",
+    ],
+)
+def test_http_errors_reply_connection_close_and_close_the_socket(
+    service, raw, expected_status
+):
+    """Every HTTP error path answers explicitly and then hangs up.
+
+    The response must carry ``Connection: close`` and the server must
+    actually close the connection (the client observes EOF without sending
+    anything further) — a half-open socket after an error would wedge
+    keep-alive clients forever.
+    """
+
+    async def scenario():
+        async with AsyncMembershipServer(service, max_wait_ms=1.0) as server:
+            host, port = await server.start_http()
+            return await _http_error_exchange(host, port, raw)
+
+    status_line, headers, closed = run(scenario())
+    assert f" {expected_status} " in status_line + " "
+    assert any(h.lower() == "connection: close" for h in headers), headers
+    assert closed, "server left the socket open after an error response"

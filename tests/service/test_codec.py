@@ -80,6 +80,22 @@ def test_xor_round_trip(seed):
     assert [revived.contains(k) for k in probe] == [xor.contains(k) for k in probe]
 
 
+def test_wbf_cache_counts_above_255_round_trip():
+    """Cache counts are u16 in the frame — large max_hashes must not crash."""
+    from repro.baselines.weighted_bloom import WeightedBloomFilter
+
+    wbf = WeightedBloomFilter(
+        num_bits=4096, default_hashes=2, max_hashes=400, cache_fraction=1.0
+    )
+    wbf._hash_cache = {"pricey": 300}
+    wbf.add("pricey")
+    wbf.add("cheap")
+    frame = codec.dumps(wbf)
+    revived = codec.loads(frame)
+    assert revived.cached_hashes("pricey") == 300
+    assert codec.dumps(revived) == frame
+
+
 def test_hash_expressor_round_trip():
     positives, negatives, _ = _dataset(3)
     habf = HABF.build(positives, negatives, bits_per_key=10.0)
@@ -138,6 +154,49 @@ def test_rejects_wrong_version():
     frame[4] = codec.CODEC_VERSION + 1
     with pytest.raises(CodecError, match="version"):
         codec.loads(_recrc(bytes(frame)))
+
+
+def test_version_1_frames_still_decode():
+    """Filter payloads are unchanged since version 1; old frames must load."""
+    bits = BitArray.from_indices(64, [1, 2, 3])
+    frame = bytearray(codec.dumps(bits))
+    assert frame[4] == codec.CODEC_VERSION
+    frame[4] = 1
+    revived = codec.loads(_recrc(bytes(frame)))
+    assert revived == bits
+
+
+def test_version_1_store_frames_decode_with_unknown_fingerprints():
+    """Pre-rebuild-pipeline store frames (no generations/fingerprints) load.
+
+    A version-1 store payload is ``num_shards, router_seed, backend_name,
+    then per shard: key_count + nested filter frame``.  Reviving one must
+    default every shard generation to 1 and every fingerprint to unknown
+    (so the first incremental rebuild treats all shards as dirty instead of
+    trusting garbage).
+    """
+    import zlib
+
+    positives, _, probe = _dataset(19)
+    bloom_a = BloomFilter(num_bits=1024, num_hashes=3)
+    bloom_a.add_all(positives[:100])
+    bloom_b = BloomFilter(num_bits=1024, num_hashes=3)
+    bloom_b.add_all(positives[100:200])
+    writer = codec._Writer()
+    writer.u32(2)
+    writer.u64(0)
+    writer.str_field("bloom")
+    for bloom, count in ((bloom_a, 100), (bloom_b, 100)):
+        writer.u64(count)
+        writer.bytes_field(codec.dumps(bloom))
+    payload = writer.getvalue()
+    header = codec._HEADER.pack(codec.FRAME_MAGIC, 1, codec.TAG_SHARDED_STORE, len(payload))
+    frame = header + payload + struct.pack(">I", zlib.crc32(header[4:] + payload))
+    store = codec.loads(frame)
+    assert store.num_shards == 2
+    assert store.shard_generations == [1, 1]
+    assert store.shard_fingerprints == [None, None]
+    assert store.shard_key_counts == [100, 100]
 
 
 def test_rejects_unknown_type_tag():

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import CodecError, ConfigurationError
+from repro.errors import ConfigurationError
 from repro.service import codec
 from repro.service.backends import (
     available_backends,
