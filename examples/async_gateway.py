@@ -6,9 +6,11 @@ sharded, hot-rebuildable service, but served over the network through
 ``repro.service.aserve``.  The demo starts an :class:`AsyncMembershipServer`
 on an ephemeral port, drives it with 16 concurrent line-protocol clients
 (each awaiting every answer before sending the next key — the closed-loop
-shape real callers produce), hot-rebuilds the blacklist mid-traffic, and
-prints the micro-batcher statistics that show scalar callers were coalesced
-into engine-sized windows.
+shape real callers produce), hot-rebuilds the blacklist mid-traffic, prints
+the micro-batcher statistics that show scalar callers were coalesced into
+engine-sized windows, and ends with the telemetry snapshot an operator
+would scrape: per-shard observed FPR from the live estimator plus the
+exported metric families (``docs/OBSERVABILITY.md``).
 
 Run with::
 
@@ -21,6 +23,7 @@ from __future__ import annotations
 
 import asyncio
 
+from repro.obs import FprEstimator, Registry, render_text
 from repro.service import AsyncMembershipServer, MembershipService
 from repro.workloads import generate_shalla_like
 
@@ -44,7 +47,16 @@ async def line_client(host: str, port: int, keys) -> list:
 
 async def main() -> None:
     dataset = generate_shalla_like(num_positives=4_000, num_negatives=4_000, seed=11)
-    service = MembershipService(backend="bloom-dh", num_shards=4, bits_per_key=10.0)
+    registry = Registry()
+    service = MembershipService(
+        backend="bloom-dh",
+        num_shards=4,
+        bits_per_key=10.0,
+        registry=registry,
+        # Rate 1.0 shadow-checks every positive verdict — right for a demo;
+        # production gateways keep the 0.05 default.
+        fpr_estimator=FprEstimator(sample_rate=1.0),
+    )
     service.load(dataset.positives, dataset.negatives[:2_000])
 
     async with AsyncMembershipServer(service, max_batch=256, max_wait_ms=2.0) as server:
@@ -70,6 +82,17 @@ async def main() -> None:
         wave = await line_client(host, port, refreshed[-5:])
         print(f"wave 2 sample: {wave}")
 
+        # Wave 3: URLs the filter has never seen.  Any positive here is a
+        # false positive — exactly what the shadow-sampling estimator checks.
+        unseen = dataset.negatives[2_000:3_000]
+        jobs = [
+            line_client(host, port, unseen[i::NUM_CLIENTS])
+            for i in range(NUM_CLIENTS)
+        ]
+        waves = await asyncio.gather(*jobs)
+        hits = sum(verdict for wave in waves for verdict, _ in wave)
+        print(f"wave 3: {len(unseen)} unseen keys, {hits} filter positives")
+
         stats = server.batcher.stats()
         batching = stats.batching
         print(
@@ -86,6 +109,29 @@ async def main() -> None:
                 f"engine per-key latency: p50={latency.p50:.2f}us "
                 f"p99={latency.p99:.2f}us over {latency.count} samples"
             )
+
+    # The server is down; the registry still holds everything it exported.
+    # This is the snapshot an operator's last scrape would have carried.
+    print("\nfinal telemetry snapshot (per-shard live FPR):")
+    for estimate in service.fpr_estimates():
+        observed = (
+            f"{estimate.observed_fpr:.4%}"
+            if estimate.observed_fpr is not None
+            else "n/a"
+        )
+        print(
+            f"  shard {estimate.shard}: sampled={estimate.sampled} "
+            f"false_positives={estimate.false_positives} observed_fpr={observed}"
+        )
+    families = sum(
+        1 for line in render_text(registry).splitlines() if line.startswith("# TYPE")
+    )
+    service_stats = service.stats()
+    print(
+        f"  {families} metric families exported; uptime "
+        f"{service_stats.uptime_seconds:.1f}s, rss "
+        f"{(service_stats.rss_bytes or 0) / 1e6:.0f} MB"
+    )
 
 
 if __name__ == "__main__":

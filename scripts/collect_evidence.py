@@ -16,6 +16,7 @@ from repro.experiments.config import ExperimentConfig, PAPER_SHALLA_POSITIVES, P
 from repro.experiments.registry import build_filter
 from repro.metrics.fpr import evaluate_filter
 from repro.metrics.timing import time_construction, time_queries
+from repro.obs import FprEstimator, Registry, render_text
 from repro.service import MembershipService, codec
 from repro.workloads.zipf import assign_zipf_costs
 
@@ -56,7 +57,15 @@ def service_section(lines, dataset, num_shards=4, bits_per_key=10.0):
         f"## membership service: {dataset.name}, {num_shards} HABF shards, "
         f"{bits_per_key} bits/key"
     )
-    service = MembershipService(backend="habf", num_shards=num_shards, bits_per_key=bits_per_key)
+    registry = Registry()
+    service = MembershipService(
+        backend="habf",
+        num_shards=num_shards,
+        bits_per_key=bits_per_key,
+        registry=registry,
+        # Rate 1.0: exact shadow-check of every positive for the evidence file.
+        fpr_estimator=FprEstimator(sample_rate=1.0),
+    )
     service.load(dataset.positives, dataset.negatives)
     probe = dataset.negatives[:2000] + dataset.positives[:2000]
 
@@ -85,6 +94,22 @@ def service_section(lines, dataset, num_shards=4, bits_per_key=10.0):
         f"p95={latency.p95:.2f}us p99={latency.p99:.2f}us"
     )
     lines.append(f"  snapshot={len(frame)} bytes, load={load_ms:.2f} ms")
+
+    # Live telemetry for the traffic above: the estimator shadow-checked every
+    # positive verdict against the build keys (per-shard counters reset on
+    # rebuild, so this reads before the rebuild exercise below).
+    for estimate in service.fpr_estimates():
+        observed = (
+            f"{estimate.observed_fpr:.4%}" if estimate.observed_fpr is not None else "n/a"
+        )
+        lines.append(
+            f"  live FPR shard {estimate.shard}: sampled={estimate.sampled} "
+            f"false_positives={estimate.false_positives} observed={observed}"
+        )
+    families = sum(
+        1 for ln in render_text(registry).splitlines() if ln.startswith("# TYPE")
+    )
+    lines.append(f"  metrics: {families} families exported on /metrics")
 
     # Incremental rebuild: drop one key so exactly one shard is dirty.
     before = service.stats()

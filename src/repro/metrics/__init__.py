@@ -15,10 +15,11 @@ from repro.metrics.fpr import (
     membership_flags,
     weighted_fpr,
 )
-from repro.metrics.memory import measure_construction_memory
+from repro.metrics.memory import measure_construction_memory, process_rss_bytes
 from repro.metrics.timing import (
     LatencyPercentiles,
     TimingResult,
+    histogram_quantile,
     latency_percentiles,
     percentile,
     time_construction,
@@ -35,6 +36,7 @@ __all__ = [
     "weighted_fpr",
     "TimingResult",
     "LatencyPercentiles",
+    "histogram_quantile",
     "latency_percentiles",
     "percentile",
     "time_construction",
@@ -42,4 +44,5 @@ __all__ = [
     "time_queries",
     "time_queries_batch",
     "measure_construction_memory",
+    "process_rss_bytes",
 ]

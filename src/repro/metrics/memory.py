@@ -12,11 +12,39 @@ bit array.
 from __future__ import annotations
 
 import gc
+import os
 import tracemalloc
 from dataclasses import dataclass
-from typing import Callable, Tuple, TypeVar
+from typing import Callable, Optional, Tuple, TypeVar
 
 FilterT = TypeVar("FilterT")
+
+
+def process_rss_bytes() -> Optional[int]:
+    """Resident set size of this process in bytes, or ``None`` when unknowable.
+
+    Reads ``/proc/self/statm`` (current RSS, Linux); falls back to
+    ``resource.getrusage`` — whose ``ru_maxrss`` is the *peak* RSS, in KiB on
+    Linux and bytes on macOS — when procfs is unavailable.  Used by the
+    serving stats (``ServiceStats.rss_bytes``) and the
+    ``repro_process_resident_bytes`` gauge; telemetry wants a cheap honest
+    number, not a portable exact one, so the fallback's peak-vs-current
+    difference is acceptable and documented.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as statm:
+            fields = statm.read().split()
+        return int(fields[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+        import sys
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+    except Exception:
+        return None
 
 
 @dataclass(frozen=True)

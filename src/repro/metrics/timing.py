@@ -44,6 +44,43 @@ def percentile(samples: Sequence[float], q: float) -> float:
     return _percentile_of_sorted(sorted(samples), q)
 
 
+def histogram_quantile(
+    q: float, bounds: Sequence[float], counts: Sequence[int]
+) -> float:
+    """Estimate the ``q``-quantile (0–1) from per-bucket histogram counts.
+
+    ``bounds`` are the buckets' upper edges in increasing order, ending with
+    ``+inf``; ``counts`` holds the observations per bucket (same length).
+    The estimate interpolates linearly inside the target bucket — the same
+    model ``histogram_quantile()`` uses in PromQL — so the obs layer's
+    :meth:`~repro.obs.core.Histogram.approx_quantile` and a Prometheus
+    server looking at the exported buckets agree.  A quantile landing in the
+    ``+inf`` bucket reports the last finite edge (the histogram cannot see
+    further).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+    if len(bounds) != len(counts) or not bounds:
+        raise ConfigurationError("bounds and counts must be equally sized and non-empty")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    for index, (bound, count) in enumerate(zip(bounds, counts)):
+        cumulative += count
+        if cumulative >= rank:
+            if bound == float("inf"):
+                # Everything above the last finite edge is indistinguishable.
+                return bounds[index - 1] if index else 0.0
+            lower = bounds[index - 1] if index else 0.0
+            if count == 0:
+                return bound
+            fraction = (rank - (cumulative - count)) / count
+            return lower + (bound - lower) * fraction
+    return bounds[-2] if len(bounds) > 1 else bounds[-1]  # pragma: no cover
+
+
 @dataclass(frozen=True)
 class LatencyPercentiles:
     """p50/p95/p99 summary of a latency sample set, in seconds.

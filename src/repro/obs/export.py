@@ -1,0 +1,131 @@
+"""Prometheus text exposition (format version 0.0.4) for :mod:`repro.obs`.
+
+:func:`render_text` turns a registry's collected families into the exact
+text a Prometheus server scrapes: one ``# HELP``/``# TYPE`` header per
+family followed by its sample lines, with label values escaped per the
+format specification.  The serving front-end mounts this under
+``GET /metrics`` and behind the ``METRICS`` line-protocol command.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.obs.core import CollectedFamily, Registry, Sample
+
+__all__ = ["render_text", "CONTENT_TYPE"]
+
+#: The Content-Type a compliant scraper expects for this exposition format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return text.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _render_sample(family_name: str, sample: Sample) -> str:
+    name = family_name + sample.suffix
+    if sample.labels:
+        labels = ",".join(
+            f'{label}="{_escape_label_value(str(value))}"'
+            for label, value in sample.labels
+        )
+        return f"{name}{{{labels}}} {_format_value(sample.value)}"
+    return f"{name} {_format_value(sample.value)}"
+
+
+def _merge(families: Iterable[CollectedFamily]) -> List[CollectedFamily]:
+    """Merge families that share a name (instruments + live collectors).
+
+    The exposition format allows each metric name to appear in exactly one
+    block, so samples contributed by different sources (e.g. two services'
+    collectors feeding ``repro_shard_queries_total``) are concatenated
+    under one header.  The first occurrence wins the kind and help text.
+    """
+    merged: Dict[str, CollectedFamily] = {}
+    order: List[str] = []
+    for family in families:
+        existing = merged.get(family.name)
+        if existing is None:
+            merged[family.name] = family
+            order.append(family.name)
+        else:
+            merged[family.name] = CollectedFamily(
+                name=existing.name,
+                kind=existing.kind,
+                help=existing.help or family.help,
+                samples=existing.samples + family.samples,
+            )
+    return [merged[name] for name in order]
+
+
+def render_family(family: CollectedFamily) -> List[str]:
+    """The exposition lines for one family (header + samples)."""
+    lines = [
+        f"# HELP {family.name} {_escape_help(family.help)}",
+        f"# TYPE {family.name} {family.kind}",
+    ]
+    for sample in family.samples:
+        lines.append(_render_sample(family.name, sample))
+    return lines
+
+
+def render_text(registry: Registry) -> str:
+    """The full exposition for ``registry``, ending with a newline.
+
+    Families with no children yet still emit their headers — a scraper
+    learns the full catalogue on the first scrape, before traffic arrives.
+    """
+    lines: List[str] = []
+    for family in _merge(registry.collect()):
+        lines.extend(render_family(family))
+    return "\n".join(lines) + "\n" if lines else "\n"
+
+
+def parse_families(text: str) -> Dict[str, Tuple[str, Dict[str, float]]]:
+    """A minimal exposition parser: ``{family: (kind, {sample_line: value})}``.
+
+    This exists for tests and operational tooling (asserting every emitted
+    family carries a ``# TYPE`` header, that counters are monotone between
+    two scrapes), not as a general Prometheus parser; it understands exactly
+    what :func:`render_text` produces.
+    """
+    families: Dict[str, Tuple[str, Dict[str, float]]] = {}
+    current: str = ""
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            current = name
+            families[name] = (kind.strip(), {})
+            continue
+        if line.startswith("#"):
+            continue
+        series, _, value = line.rpartition(" ")
+        base = series.partition("{")[0]
+        for suffix in ("_bucket", "_sum", "_count", ""):
+            if suffix and base.endswith(suffix) and base[: -len(suffix)] in families:
+                base = base[: -len(suffix)]
+                break
+        if base != current or base not in families:
+            raise ValueError(f"sample {series!r} outside its family block")
+        families[base][1][series] = float(value)
+    return families

@@ -25,7 +25,10 @@ blacklist-gateway / LSM read-path setting the paper motivates:
   :class:`AdaptiveMicroBatcher` coalesces concurrent callers into engine
   batches and :class:`AsyncMembershipServer` exposes TCP/HTTP protocols on
   top of it (see ``docs/SERVING.md``).
-* :mod:`repro.service.stats` — the stats dataclasses shared by the above.
+* :mod:`repro.service.stats` — the stats dataclasses shared by the above
+  (since the telemetry layer, views over :mod:`repro.obs` registry
+  instruments; ``GET /metrics`` and the ``METRICS`` line command expose the
+  same numbers in Prometheus text format).
 """
 
 from repro.service.aserve import AdaptiveMicroBatcher, AsyncMembershipServer

@@ -50,8 +50,11 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import contextvars
+import itertools
 import json
 import urllib.parse
+import weakref
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict
@@ -60,6 +63,18 @@ from typing import Deque, List, Optional, Sequence, Tuple
 from repro.errors import ConfigurationError, ServiceError
 from repro.hashing import vectorized as vec
 from repro.hashing.base import Key
+from repro.obs import (
+    CONTENT_TYPE as _METRICS_CONTENT_TYPE,
+)
+from repro.obs import (
+    DEFAULT_SIZE_BUCKETS,
+    Registry,
+    Tracer,
+    current_trace,
+    default_registry,
+    render_text,
+    stage,
+)
 from repro.service.server import BatchAnswer, MembershipService
 from repro.service.stats import LatencyWindow, MicroBatchStats, ServiceStats
 
@@ -70,6 +85,10 @@ __all__ = ["AdaptiveMicroBatcher", "AsyncMembershipServer"]
 _MIN_WINDOW_SECONDS = 50e-6
 #: EWMA smoothing factor for the arrival-rate estimate.
 _RATE_SMOOTHING = 0.3
+
+#: Distinguishes batcher instances inside shared metric families (the same
+#: scheme the service uses with ``service="svc-<n>"``).
+_BATCHER_IDS = itertools.count(1)
 
 
 class _Span:
@@ -107,6 +126,11 @@ class AdaptiveMicroBatcher:
             single thread (dispatches are serialized; the GIL makes more
             threads pointless for this CPU-bound work).
         stats_window: Samples kept for each percentile distribution.
+        tracer: Mints one trace per flush window (stages ``queue_wait``,
+            ``window_assembly``, ``engine_dispatch``, and — inside the store
+            — ``shard_probe``).  Defaults to a tracer on the service's
+            registry with span logging off; pass your own to attach a
+            ``span_log``.
 
     Use as an async context manager, or call :meth:`aclose` explicitly; the
     flusher task starts lazily on the first query.
@@ -120,6 +144,7 @@ class AdaptiveMicroBatcher:
         min_wait_ms: float = 0.0,
         executor: Optional[ThreadPoolExecutor] = None,
         stats_window: int = 4096,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if max_batch < 1:
             raise ConfigurationError("max_batch must be at least 1")
@@ -147,17 +172,77 @@ class AdaptiveMicroBatcher:
         self._flusher: Optional[asyncio.Task] = None
         self._wake: Optional[asyncio.Event] = None
         self._more: Optional[asyncio.Event] = None
-        # Counters + distributions (event-loop thread only).
-        self._flushes = 0
-        self._full_flushes = 0
-        self._timer_flushes = 0
-        self._empty_flushes = 0
-        self._coalesced_keys = 0
-        self._bypassed_batches = 0
-        self._cancelled_callers = 0
+        # Exact-percentile windows (event-loop thread only, aside from the
+        # lock they carry internally); the monotone counters live as registry
+        # instruments below.
         self._batch_sizes = LatencyWindow(stats_window)
         self._waits = LatencyWindow(stats_window)
         self._depths = LatencyWindow(stats_window)
+        registry = getattr(service, "registry", None)
+        self._registry: Registry = registry if registry is not None else default_registry()
+        self._tracer = tracer if tracer is not None else Tracer(registry=self._registry)
+        self._obs_label = f"mb-{next(_BATCHER_IDS)}"
+        self._make_instruments()
+
+    def _make_instruments(self) -> None:
+        """Bind this batcher's label children in the shared metric families."""
+        registry, label = self._registry, self._obs_label
+        flushes = registry.counter(
+            "repro_batch_flushes_total",
+            "Flush windows by outcome: full (hit max_batch), timer "
+            "(deadline/quiet queue), empty (every waiter cancelled)",
+            ("batcher", "kind"),
+        )
+        self._full_flushes = flushes.labels(label, "full")
+        self._timer_flushes = flushes.labels(label, "timer")
+        self._empty_flushes = flushes.labels(label, "empty")
+        self._coalesced_keys = registry.counter(
+            "repro_batch_coalesced_keys_total",
+            "Keys answered through dispatched windows",
+            ("batcher",),
+        ).labels(label)
+        self._bypassed_batches = registry.counter(
+            "repro_batch_bypassed_total",
+            "Engine-sized requests that skipped the coalescing queue",
+            ("batcher",),
+        ).labels(label)
+        self._cancelled_callers = registry.counter(
+            "repro_batch_cancelled_callers_total",
+            "Waiters dropped because their future was cancelled",
+            ("batcher",),
+        ).labels(label)
+        self._batch_size_hist = registry.histogram(
+            "repro_batch_size",
+            "Keys per dispatched window",
+            ("batcher",),
+            buckets=DEFAULT_SIZE_BUCKETS,
+        ).labels(label)
+        self._window_seconds_hist = registry.histogram(
+            "repro_batch_window_seconds",
+            "How long flush windows stayed open collecting callers",
+            ("batcher",),
+        ).labels(label)
+        self._depth_hist = registry.histogram(
+            "repro_batch_queue_depth",
+            "Pending keys when a flush window closed",
+            ("batcher",),
+            buckets=DEFAULT_SIZE_BUCKETS,
+        ).labels(label)
+        wait_gauge = registry.gauge(
+            "repro_batch_current_wait_seconds",
+            "The adaptive window deadline right now",
+            ("batcher",),
+        ).labels(label)
+        # Weakly bound so the registry's child (whose callback closes over
+        # this reference) never pins the batcher — and through it the service
+        # and its filters — for the life of the process.
+        ref = weakref.ref(self)
+
+        def _current_wait() -> float:
+            batcher = ref()
+            return batcher.current_wait_seconds if batcher is not None else 0.0
+
+        wait_gauge.set_function(_current_wait)
 
     # ------------------------------------------------------------------ #
     # Public query surface
@@ -166,6 +251,16 @@ class AdaptiveMicroBatcher:
     def service(self) -> MembershipService:
         """The wrapped service (shared, not copied)."""
         return self._service
+
+    @property
+    def registry(self) -> Registry:
+        """The metrics registry this batcher (and its service) report to."""
+        return self._registry
+
+    @property
+    def tracer(self) -> Tracer:
+        """The tracer minting one trace per flush window."""
+        return self._tracer
 
     @property
     def max_batch(self) -> int:
@@ -209,7 +304,7 @@ class AdaptiveMicroBatcher:
         if len(keys) >= self._max_batch:
             self._ensure_open()
             answer = await self._dispatch(keys)
-            self._bypassed_batches += 1
+            self._bypassed_batches.inc()
             return answer.verdicts, answer.generation
         batch = vec.KeyBatch(keys) if vec.numpy_or_none() is not None else None
         return await self._submit(keys, batch)
@@ -239,15 +334,23 @@ class AdaptiveMicroBatcher:
     # Statistics
     # ------------------------------------------------------------------ #
     def batching_stats(self) -> MicroBatchStats:
-        """Point-in-time micro-batcher counters and distributions."""
+        """Point-in-time micro-batcher counters and distributions.
+
+        The counter fields are views over this batcher's registry instrument
+        children (``flushes`` derives as full + timer — every successful
+        dispatch is exactly one of the two); the percentile fields come from
+        the exact-sample windows.
+        """
+        full = int(self._full_flushes.value)
+        timer = int(self._timer_flushes.value)
         return MicroBatchStats(
-            flushes=self._flushes,
-            full_flushes=self._full_flushes,
-            timer_flushes=self._timer_flushes,
-            empty_flushes=self._empty_flushes,
-            coalesced_keys=self._coalesced_keys,
-            bypassed_batches=self._bypassed_batches,
-            cancelled_callers=self._cancelled_callers,
+            flushes=full + timer,
+            full_flushes=full,
+            timer_flushes=timer,
+            empty_flushes=int(self._empty_flushes.value),
+            coalesced_keys=int(self._coalesced_keys.value),
+            bypassed_batches=int(self._bypassed_batches.value),
+            cancelled_callers=int(self._cancelled_callers.value),
             current_wait_ms=self.current_wait_seconds * 1e3,
             batch_size=self._batch_sizes.percentiles(),
             wait=self._waits.percentiles(),
@@ -282,6 +385,9 @@ class AdaptiveMicroBatcher:
         self._spans.append(_Span(keys, future, batch))
         self._pending_keys += len(keys)
         self._arrivals += 1
+        # Exact per-enqueue depths stay in the ring window; the histogram
+        # mirror samples once per flush instead (an observe per enqueue is
+        # measurable at wire rates).
         self._depths.record(float(self._pending_keys))
         self._wake.set()
         self._more.set()
@@ -289,6 +395,15 @@ class AdaptiveMicroBatcher:
 
     async def _dispatch(self, request) -> BatchAnswer:
         loop = asyncio.get_running_loop()
+        if current_trace() is not None:
+            # run_in_executor does not propagate contextvars to the worker
+            # thread (asyncio.to_thread does, but only exists on 3.9+ with a
+            # per-call thread); copying the context carries the active trace
+            # into the engine so shard_probe stages land on the same trace.
+            context = contextvars.copy_context()
+            return await loop.run_in_executor(
+                self._executor, context.run, self._service.query_batch, request
+            )
         return await loop.run_in_executor(
             self._executor, self._service.query_batch, request
         )
@@ -329,6 +444,7 @@ class AdaptiveMicroBatcher:
                 await asyncio.wait_for(self._more.wait(), timeout=min_deadline - now)
 
     async def _flush(self, waited_seconds: float) -> None:
+        self._depth_hist.observe(float(self._pending_keys))
         spans: List[_Span] = []
         taken_keys = 0
         while self._spans:
@@ -338,40 +454,48 @@ class AdaptiveMicroBatcher:
             self._spans.popleft()
             self._pending_keys -= len(span.keys)
             if span.future.cancelled():
-                self._cancelled_callers += 1
+                self._cancelled_callers.inc()
                 continue
             spans.append(span)
             taken_keys += len(span.keys)
         if not self._spans and not self._closed:
             self._wake.clear()
         if not spans:
-            self._empty_flushes += 1
+            self._empty_flushes.inc()
             return
         instant_rate = taken_keys / max(waited_seconds, _MIN_WINDOW_SECONDS)
         if self._rate_ewma <= 0.0:
             self._rate_ewma = instant_rate
         else:
             self._rate_ewma += _RATE_SMOOTHING * (instant_rate - self._rate_ewma)
-        try:
-            answer = await self._dispatch(self._assemble(spans))
-        except Exception as exc:  # ServiceError (no snapshot yet) included
-            for span in spans:
-                if not span.future.done():
-                    span.future.set_exception(exc)
-            return
-        self._flushes += 1
-        self._coalesced_keys += taken_keys
+        tracer = self._tracer
+        trace = tracer.begin()
+        with tracer.activate(trace):
+            tracer.record_stage(trace, "queue_wait", waited_seconds, keys=taken_keys)
+            with stage("window_assembly", spans=len(spans)):
+                request = self._assemble(spans)
+            try:
+                with stage("engine_dispatch", keys=taken_keys):
+                    answer = await self._dispatch(request)
+            except Exception as exc:  # ServiceError (no snapshot yet) included
+                for span in spans:
+                    if not span.future.done():
+                        span.future.set_exception(exc)
+                return
+        self._coalesced_keys.inc(taken_keys)
         if taken_keys >= self._max_batch:
-            self._full_flushes += 1
+            self._full_flushes.inc()
         else:
-            self._timer_flushes += 1
+            self._timer_flushes.inc()
         self._batch_sizes.record(float(taken_keys))
+        self._batch_size_hist.observe(float(taken_keys))
         self._waits.record(waited_seconds)
+        self._window_seconds_hist.observe(waited_seconds)
         offset = 0
         for span in spans:
             count = len(span.keys)
             if span.future.cancelled():
-                self._cancelled_callers += 1
+                self._cancelled_callers.inc()
             else:
                 span.future.set_result(
                     (answer.verdicts[offset : offset + count], answer.generation)
@@ -400,6 +524,16 @@ class AdaptiveMicroBatcher:
 # --------------------------------------------------------------------- #
 # Network front-ends
 # --------------------------------------------------------------------- #
+class _RawBody:
+    """A pre-encoded HTTP body with an explicit content type (non-JSON)."""
+
+    __slots__ = ("data", "content_type")
+
+    def __init__(self, data: bytes, content_type: str) -> None:
+        self.data = data
+        self.content_type = content_type
+
+
 _HTTP_REASONS = {
     200: "OK",
     400: "Bad Request",
@@ -431,12 +565,16 @@ class AsyncMembershipServer:
         M <key> <key> ...    -> V <generation> <0|1> <0|1> ...
         GEN                  -> G <generation>
         STATS                -> S <one-line JSON of ServiceStats>
+        METRICS              -> Prometheus exposition text, terminated by a
+                                line holding a single "."
         PING                 -> PONG
         anything invalid     -> E <message>
 
-    HTTP endpoints (JSON responses, ``Connection: close``)::
+    HTTP endpoints (JSON responses except ``/metrics``, which serves the
+    Prometheus text format; every response is ``Connection: close``)::
 
         GET  /query?key=K        GET /generation      GET /stats
+        GET  /metrics            (Prometheus text exposition)
         POST /query_many         (body: JSON list or newline-delimited keys)
 
     Args:
@@ -563,6 +701,11 @@ class AsyncMembershipServer:
             return f"G {self._service.generation}"
         if command == "STATS":
             return "S " + json.dumps(asdict(self._batcher.stats()))
+        if command == "METRICS":
+            # Multi-line response: the exposition text (which ends with a
+            # newline), then a line holding a single "." as the terminator —
+            # line-oriented clients read until they see it.
+            return render_text(self._batcher.registry) + "."
         if command == "Q":
             if len(parts) != 2:
                 return "E Q takes exactly one key"
@@ -614,11 +757,20 @@ class AsyncMembershipServer:
         socket, because closing with unread bytes in the receive buffer
         makes the kernel send RST, which can destroy the response still in
         flight.
+
+        ``payload`` is JSON-encoded unless it is a :class:`_RawBody`, which
+        carries pre-encoded bytes and their content type (the ``/metrics``
+        exposition).
         """
-        data = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, _RawBody):
+            data = payload.data
+            content_type = payload.content_type
+        else:
+            data = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'OK')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
             "Connection: close\r\n\r\n"
         )
@@ -736,6 +888,9 @@ class AsyncMembershipServer:
                 return 200, {"generation": self._service.generation}
             if method == "GET" and path == "/stats":
                 return 200, asdict(self._batcher.stats())
+            if method == "GET" and path == "/metrics":
+                text = render_text(self._batcher.registry)
+                return 200, _RawBody(text.encode("utf-8"), _METRICS_CONTENT_TYPE)
             if method == "POST" and path == "/query_many":
                 text = body.decode("utf-8", errors="replace").strip()
                 if text.startswith("["):

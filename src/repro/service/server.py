@@ -20,6 +20,7 @@ windows, converting the batch engine's speedup into serving throughput.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from dataclasses import dataclass
@@ -28,11 +29,25 @@ from typing import List, Mapping, Optional, Sequence
 from repro.errors import ServiceError
 from repro.hashing import vectorized as vec
 from repro.hashing.base import Key
+from repro.metrics.memory import process_rss_bytes
 from repro.metrics.timing import Stopwatch, latency_percentiles
+from repro.obs import (
+    CollectedFamily,
+    FprEstimator,
+    Registry,
+    Sample,
+    ShardFprEstimate,
+    default_registry,
+)
 from repro.service import codec
 from repro.service.backends import BackendSpec
 from repro.service.shards import ShardedFilterStore
 from repro.service.stats import LatencyWindow, ServiceStats
+
+#: Distinguishes service instances inside shared metric families: every
+#: instance labels its children ``service="svc-<n>"`` so two services in one
+#: process (or two hundred across a test run) never mix their counters.
+_SERVICE_IDS = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -100,6 +115,19 @@ class MembershipService:
             (``None``/1 = sequential; see
             :meth:`~repro.service.shards.ShardedFilterStore.build`).  A
             per-call ``workers`` argument overrides it.
+        registry: The :class:`~repro.obs.Registry` this service's counters,
+            gauges and histograms live in (default: the process-global one).
+            Instrument families are shared — each service only owns its
+            ``service="svc-<n>"`` label children — and the registry also
+            receives a weak scrape-time collector exporting per-shard
+            counters and live FPR estimates.  Pass
+            :func:`~repro.obs.null_registry` to disable instrumentation
+            wholesale; note ``stats()`` counter fields then read zero (the
+            latency windows still work).
+        fpr_estimator: An optional :class:`~repro.obs.FprEstimator`; when
+            attached, each rebuild re-registers the generation's build keys
+            as its ground-truth oracle (unless a custom oracle was set) and
+            the query paths feed it verdicts to shadow-sample.
         backend_kwargs: Forwarded to the backend factory when ``backend`` is
             a name (e.g. ``bits_per_key=12.0``).
     """
@@ -112,6 +140,8 @@ class MembershipService:
         router_seed: int = 0,
         latency_window: int = 4096,
         build_workers: Optional[int] = None,
+        registry: Optional[Registry] = None,
+        fpr_estimator: Optional[FprEstimator] = None,
         **backend_kwargs,
     ) -> None:
         if num_shards < 1:
@@ -126,16 +156,73 @@ class MembershipService:
         self._build_workers = build_workers
         self._snapshot: Optional[Snapshot] = None
         self._swap_lock = threading.Lock()
-        self._stats_lock = threading.Lock()
         self._latency = LatencyWindow(latency_window)
         self._rebuild_latency = LatencyWindow(128)
-        self._queries = 0
-        self._batches = 0
-        self._rejected_batches = 0
-        self._positives = 0
-        self._rebuilds = 0
-        self._shards_rebuilt = 0
-        self._shards_skipped = 0
+        self._registry = registry if registry is not None else default_registry()
+        self._obs_label = f"svc-{next(_SERVICE_IDS)}"
+        self._fpr = fpr_estimator
+        self._started = time.monotonic()
+        self._make_instruments()
+        self._registry.add_collector(self._collect_shard_families)
+
+    def _make_instruments(self) -> None:
+        """Bind this instance's label children in the shared metric families."""
+        registry, label = self._registry, self._obs_label
+        self._queries = registry.counter(
+            "repro_service_queries_total",
+            "Keys tested, scalar and batch combined",
+            ("service",),
+        ).labels(label)
+        self._batches = registry.counter(
+            "repro_service_batches_total",
+            "query_many/query_batch calls accepted",
+            ("service",),
+        ).labels(label)
+        self._rejected_batches = registry.counter(
+            "repro_service_rejected_batches_total",
+            "Batch calls refused (empty or oversized)",
+            ("service",),
+        ).labels(label)
+        self._positives = registry.counter(
+            "repro_service_positives_total",
+            "Membership tests answered present",
+            ("service",),
+        ).labels(label)
+        self._rebuilds = registry.counter(
+            "repro_service_rebuilds_total",
+            "Completed hot rebuilds (generation swaps after the first load)",
+            ("service",),
+        ).labels(label)
+        self._shards_rebuilt = registry.counter(
+            "repro_service_shards_rebuilt_total",
+            "Shards reconstructed across every build and rebuild",
+            ("service",),
+        ).labels(label)
+        self._shards_skipped = registry.counter(
+            "repro_service_shards_skipped_total",
+            "Shards incremental rebuilds left untouched (clean fingerprints)",
+            ("service",),
+        ).labels(label)
+        self._generation_gauge = registry.gauge(
+            "repro_service_generation",
+            "Generation currently serving (0 before the first load)",
+            ("service",),
+        ).labels(label)
+        self._keys_gauge = registry.gauge(
+            "repro_service_keys",
+            "Positive keys in the serving snapshot",
+            ("service",),
+        ).labels(label)
+        self._query_seconds = registry.histogram(
+            "repro_query_seconds",
+            "Per-key query latency; each batch contributes its per-key average once",
+            ("service",),
+        ).labels(label)
+        self._rebuild_seconds = registry.histogram(
+            "repro_rebuild_seconds",
+            "Build/rebuild wall-clock duration, one observation per swap",
+            ("service",),
+        ).labels(label)
 
     # ------------------------------------------------------------------ #
     # Loading and rebuilding
@@ -267,12 +354,17 @@ class MembershipService:
                 num_keys=len(keys),
                 build_params=self._build_signature(),
             )
-            with self._stats_lock:
-                if current is not None:
-                    self._rebuilds += 1
-                self._shards_rebuilt += len(rebuilt)
-                self._shards_skipped += len(skipped)
-                self._rebuild_latency.record(watch.seconds)
+            if current is not None:
+                self._rebuilds.inc()
+            self._shards_rebuilt.inc(len(rebuilt))
+            self._shards_skipped.inc(len(skipped))
+            self._rebuild_latency.record(watch.seconds)
+            self._rebuild_seconds.observe(watch.seconds)
+            self._generation_gauge.set(generation)
+            self._keys_gauge.set(len(keys))
+        estimator = self._fpr
+        if estimator is not None and estimator.auto_oracle:
+            estimator.set_key_oracle(keys)
         return generation
 
     def install_snapshot(self, store: ShardedFilterStore, num_keys: Optional[int] = None) -> int:
@@ -293,8 +385,9 @@ class MembershipService:
                 num_keys=store.num_keys() if num_keys is None else num_keys,
             )
             if previous is not None:
-                with self._stats_lock:
-                    self._rebuilds += 1
+                self._rebuilds.inc()
+            self._generation_gauge.set(generation)
+            self._keys_gauge.set(store.num_keys() if num_keys is None else num_keys)
         return generation
 
     # ------------------------------------------------------------------ #
@@ -312,11 +405,14 @@ class MembershipService:
         start = time.perf_counter()
         answer = snapshot.store.query(key)
         elapsed = time.perf_counter() - start
-        with self._stats_lock:
-            self._queries += 1
-            if answer:
-                self._positives += 1
-            self._latency.record(elapsed)
+        self._queries.inc()
+        if answer:
+            self._positives.inc()
+            estimator = self._fpr
+            if estimator is not None and estimator.active:
+                estimator.observe(key, True, snapshot.store.shard_of(key))
+        self._latency.record(elapsed)
+        self._query_seconds.observe(elapsed)
         return answer
 
     def query_many(self, keys: Sequence[Key]) -> List[bool]:
@@ -346,8 +442,7 @@ class MembershipService:
         if not isinstance(keys, vec.KeyBatch):
             keys = list(keys)
         if not len(keys) or len(keys) > self._max_batch_size:
-            with self._stats_lock:
-                self._rejected_batches += 1
+            self._rejected_batches.inc()
             raise ServiceError(
                 f"batch of {len(keys)} keys rejected; accepted sizes are "
                 f"1..{self._max_batch_size}"
@@ -356,11 +451,25 @@ class MembershipService:
         start = time.perf_counter()
         answers = snapshot.store.query_many(keys)
         elapsed = time.perf_counter() - start
-        with self._stats_lock:
-            self._queries += len(keys)
-            self._batches += 1
-            self._positives += sum(answers)
-            self._latency.record(elapsed / len(keys))
+        positives = sum(answers)
+        self._queries.inc(len(keys))
+        self._batches.inc()
+        if positives:
+            self._positives.inc(positives)
+        per_key = elapsed / len(keys)
+        self._latency.record(per_key)
+        self._query_seconds.observe(per_key)
+        estimator = self._fpr
+        if positives and estimator is not None and estimator.active:
+            if isinstance(keys, vec.KeyBatch):
+                raw = keys.keys
+                # Memoised on the batch: query_many's router pass is reused.
+                shards = snapshot.store.shards_of_many(keys)
+            else:
+                raw, shards = keys, None
+            estimator.observe_batch(
+                raw, answers, snapshot.store.shard_of, shards=shards
+            )
         return BatchAnswer(
             verdicts=answers, generation=snapshot.generation, elapsed_seconds=elapsed
         )
@@ -387,47 +496,158 @@ class MembershipService:
         """The current serving snapshot, or ``None`` before the first load."""
         return self._snapshot
 
-    def stats(self) -> ServiceStats:
-        """A point-in-time copy of every counter plus latency percentiles.
+    @property
+    def registry(self) -> Registry:
+        """The metrics registry this service reports to."""
+        return self._registry
 
-        Scalar queries contribute true per-key samples; each accepted batch
-        contributes its per-key *average* as one sample, so tail figures
-        reflect scalar calls and batch-level behaviour, not per-key tails
-        inside a batch (measuring those would require timing every key and
-        defeat batching).
+    @property
+    def fpr_estimator(self) -> Optional[FprEstimator]:
+        """The attached live-FPR estimator, or ``None``."""
+        return self._fpr
+
+    def fpr_estimates(self) -> List[ShardFprEstimate]:
+        """Per-shard live FPR estimates (empty without estimator/snapshot)."""
+        snapshot = self._snapshot
+        if self._fpr is None or snapshot is None:
+            return []
+        return self._fpr.estimates(snapshot.store.shard_stats())
+
+    def stats(self) -> ServiceStats:
+        """A point-in-time snapshot read from the registry instruments.
+
+        The dataclass shape predates the telemetry layer and is kept
+        exactly; the numbers now come from this instance's label children
+        in the shared metric families (so ``stats()`` and ``GET /metrics``
+        can never disagree).  Scalar queries contribute true per-key
+        samples; each accepted batch contributes its per-key *average* as
+        one sample, so tail figures reflect scalar calls and batch-level
+        behaviour, not per-key tails inside a batch (measuring those would
+        require timing every key and defeat batching).
         """
         snapshot = self._snapshot
-        # Copy counters and the sample window under the lock; the O(n log n)
-        # percentile summary runs after release so it never stalls queries.
-        with self._stats_lock:
-            counters = (
-                self._queries,
-                self._batches,
-                self._rejected_batches,
-                self._positives,
-                self._rebuilds,
-                self._shards_rebuilt,
-                self._shards_skipped,
-            )
-            samples = self._latency.samples()
-            rebuild_samples = self._rebuild_latency.samples()
-        queries, batches, rejected, positives, rebuilds, built, skipped = counters
+        samples = self._latency.samples()
+        rebuild_samples = self._rebuild_latency.samples()
         return ServiceStats(
             generation=snapshot.generation if snapshot else 0,
             num_keys=snapshot.num_keys if snapshot else 0,
-            queries=queries,
-            batches=batches,
-            rejected_batches=rejected,
-            positives=positives,
-            rebuilds=rebuilds,
-            shards_rebuilt=built,
-            shards_skipped=skipped,
+            queries=int(self._queries.value),
+            batches=int(self._batches.value),
+            rejected_batches=int(self._rejected_batches.value),
+            positives=int(self._positives.value),
+            rebuilds=int(self._rebuilds.value),
+            shards_rebuilt=int(self._shards_rebuilt.value),
+            shards_skipped=int(self._shards_skipped.value),
             shards=snapshot.store.shard_stats() if snapshot else [],
             latency=latency_percentiles(samples) if samples else None,
             rebuild_latency=(
                 latency_percentiles(rebuild_samples) if rebuild_samples else None
             ),
+            uptime_seconds=time.monotonic() - self._started,
+            rss_bytes=process_rss_bytes(),
         )
+
+    def _collect_shard_families(self) -> List[CollectedFamily]:
+        """Scrape-time export of per-shard counters and live FPR estimates.
+
+        Registered on the registry as a weak collector: the families are a
+        *live view* of the serving snapshot's :class:`ShardStats` (they
+        reset when a rebuild swaps the store — an ordinary counter reset to
+        Prometheus), and a garbage-collected service drops out of scrapes.
+        """
+        snapshot = self._snapshot
+        if snapshot is None:
+            return []
+        base = (("service", self._obs_label),)
+        per_shard = snapshot.store.shard_stats()
+
+        def family(name, kind, help, value_of):
+            return CollectedFamily(
+                name=name,
+                kind=kind,
+                help=help,
+                samples=tuple(
+                    Sample("", base + (("shard", str(stats.shard)),), float(value_of(stats)))
+                    for stats in per_shard
+                ),
+            )
+
+        families = [
+            family(
+                "repro_shard_keys",
+                "gauge",
+                "Positive keys routed to each shard at build time",
+                lambda s: s.num_keys,
+            ),
+            family(
+                "repro_shard_queries_total",
+                "counter",
+                "Membership tests answered per shard (resets on rebuild)",
+                lambda s: s.queries,
+            ),
+            family(
+                "repro_shard_positives_total",
+                "counter",
+                "Tests answered present per shard (resets on rebuild)",
+                lambda s: s.positives,
+            ),
+            family(
+                "repro_shard_size_bits",
+                "gauge",
+                "Serialized filter size per shard",
+                lambda s: s.size_in_bits,
+            ),
+            family(
+                "repro_shard_generation",
+                "gauge",
+                "Per-shard rebuild generation",
+                lambda s: s.generation,
+            ),
+        ]
+        estimator = self._fpr
+        if estimator is not None and estimator.active:
+            estimates = estimator.estimates(per_shard)
+            sampled = []
+            false_positives = []
+            observed = []
+            cost_weighted = []
+            for estimate in estimates:
+                labels = base + (("shard", str(estimate.shard)),)
+                sampled.append(Sample("", labels, float(estimate.sampled)))
+                false_positives.append(Sample("", labels, float(estimate.false_positives)))
+                if estimate.observed_fpr is not None:
+                    observed.append(Sample("", labels, estimate.observed_fpr))
+                if estimate.cost_weighted_fpr is not None:
+                    cost_weighted.append(Sample("", labels, estimate.cost_weighted_fpr))
+            families.extend(
+                [
+                    CollectedFamily(
+                        "repro_shard_fpr_sampled_total",
+                        "counter",
+                        "Positive verdicts shadow-checked against the oracle",
+                        tuple(sampled),
+                    ),
+                    CollectedFamily(
+                        "repro_shard_fpr_false_positives_total",
+                        "counter",
+                        "Shadow-checked verdicts the oracle rejected",
+                        tuple(false_positives),
+                    ),
+                    CollectedFamily(
+                        "repro_shard_observed_fpr",
+                        "gauge",
+                        "Extrapolated live false-positive rate per shard",
+                        tuple(observed),
+                    ),
+                    CollectedFamily(
+                        "repro_shard_cost_weighted_fpr",
+                        "gauge",
+                        "Cost-weighted live false-positive rate per shard (Eq. 1/20)",
+                        tuple(cost_weighted),
+                    ),
+                ]
+            )
+        return families
 
     def save_snapshot(self, path) -> int:
         """Serialize the serving store to ``path``; returns bytes written."""
@@ -440,6 +660,8 @@ class MembershipService:
         backend: BackendSpec = "habf",
         max_batch_size: int = 65536,
         latency_window: int = 4096,
+        registry: Optional[Registry] = None,
+        fpr_estimator: Optional[FprEstimator] = None,
         **backend_kwargs,
     ) -> "MembershipService":
         """Start a service from a codec snapshot written by :meth:`save_snapshot`.
@@ -459,6 +681,8 @@ class MembershipService:
             max_batch_size=max_batch_size,
             router_seed=store.router_seed,
             latency_window=latency_window,
+            registry=registry,
+            fpr_estimator=fpr_estimator,
             **backend_kwargs,
         )
         service.install_snapshot(store)

@@ -25,6 +25,7 @@ routing pass that partitions it.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -33,6 +34,7 @@ from repro.errors import ConfigurationError
 from repro.hashing import vectorized as vec
 from repro.hashing.base import Key, mix64, normalize_key
 from repro.hashing.primitives import xxhash
+from repro.obs import default_registry, stage
 from repro.service.backends import BackendSpec, resolve_backend
 from repro.service.stats import ShardStats
 
@@ -110,11 +112,20 @@ class ShardRouter:
 
         Returns an int64 ndarray of shard indexes; requires numpy (callers
         gate on the engine and fall back to per-key routing without it).
+        The partition is memoised on the batch like a hash pass, so the
+        query path and the FPR estimator's shadow sampling share one router
+        evaluation per window.
         """
+        cache_key = ("shards", self._salt, self._num_shards)
+        cached = batch.cache.get(cache_key)
+        if cached is not None:
+            return cached
         np = vec.numpy_or_none()
         values = vec.hash_batch(xxhash, batch)
         salted = vec.mix64(values ^ np.uint64(self._salt))
-        return (salted % np.uint64(self._num_shards)).astype(np.int64)
+        result = (salted % np.uint64(self._num_shards)).astype(np.int64)
+        batch.cache[cache_key] = result
+        return result
 
 
 def _build_shard_frame(
@@ -137,6 +148,20 @@ def _build_shard_frame(
 
     policy = get_backend(backend_name, **backend_kwargs)
     return codec.dumps(policy.create_filter(keys, negatives=negatives, costs=costs))
+
+
+def _observe_build_seconds(backend_name: str, seconds: float) -> None:
+    """Record one (re)build's filter-construction time on the global registry.
+
+    Builds run off the query hot path, so the get-or-create lookup per call
+    is fine; the process-global registry is used unconditionally because the
+    store is built by classmethods that have no injected registry to honour.
+    """
+    default_registry().histogram(
+        "repro_filter_build_seconds",
+        "Wall-clock seconds constructing shard filters per (re)build",
+        ("backend",),
+    ).labels(backend_name).observe(seconds)
 
 
 def _process_pool(workers: int) -> ProcessPoolExecutor:
@@ -405,6 +430,8 @@ class ShardedFilterStore:
         shard_keys, shard_negatives, shard_costs, fingerprints = cls._partition(
             router, keys, negatives, costs
         )
+        backend_name = getattr(policy, "name", type(policy).__name__)
+        build_start = time.perf_counter()
         built = cls._build_filters(
             backend,
             backend_kwargs,
@@ -416,10 +443,11 @@ class ShardedFilterStore:
             workers,
             worker_mode,
         )
+        _observe_build_seconds(backend_name, time.perf_counter() - build_start)
         return cls(
             filters=[built[shard] for shard in range(num_shards)],
             router_seed=router_seed,
-            backend_name=getattr(policy, "name", type(policy).__name__),
+            backend_name=backend_name,
             shard_key_counts=[len(group) for group in shard_keys],
             shard_fingerprints=fingerprints,
         )
@@ -472,6 +500,7 @@ class ShardedFilterStore:
         if changed_keys is not None:
             for key in changed_keys:
                 dirty.add(router.shard_of(key))
+        build_start = time.perf_counter()
         built = cls._build_filters(
             backend,
             backend_kwargs,
@@ -482,6 +511,10 @@ class ShardedFilterStore:
             sorted(dirty),
             workers,
             worker_mode,
+        )
+        _observe_build_seconds(
+            getattr(policy, "name", type(policy).__name__),
+            time.perf_counter() - build_start,
         )
         previous_generations = previous.shard_generations
         filters: List[object] = []
@@ -590,6 +623,17 @@ class ShardedFilterStore:
         """Expose the routing decision (useful for debugging placement)."""
         return self._router.shard_of(key)
 
+    def shards_of_many(self, batch: "vec.KeyBatch"):
+        """Vectorized routing for an encoded batch, or ``None`` without numpy.
+
+        One router pass over the whole batch; callers that need a shard per
+        key (the FPR estimator shadow-sampling a large positive batch) use
+        this instead of re-hashing each key through :meth:`shard_of`.
+        """
+        if vec.numpy_or_none() is None:
+            return None
+        return self._router.shard_of_many(batch)
+
     def query(self, key: Key) -> bool:
         """Membership test for one key against its shard's filter."""
         shard = self._router.shard_of(key)
@@ -630,11 +674,12 @@ class ShardedFilterStore:
         for shard, positions in groups.items():
             filt = self._filters[shard]
             shard_keys = [keys[position] for position in positions]
-            batch = getattr(filt, "contains_many", None)
-            if batch is not None:
-                answers = batch(shard_keys)
-            else:
-                answers = [filt.contains(key) for key in shard_keys]
+            with stage("shard_probe", shard=shard, backend=self._backend_name):
+                batch = getattr(filt, "contains_many", None)
+                if batch is not None:
+                    answers = batch(shard_keys)
+                else:
+                    answers = [filt.contains(key) for key in shard_keys]
             hits = 0
             for position, answer in zip(positions, answers):
                 results[position] = bool(answer)
@@ -654,20 +699,21 @@ class ShardedFilterStore:
             positions = np.flatnonzero(shards == shard)
             filt = self._filters[int(shard)]
             sub = batch.take(positions)
-            answers = None
-            batch_fn = getattr(filt, "_contains_batch", None)
-            if batch_fn is not None:
-                answers = batch_fn(sub)
-            if answers is None:
-                contains_many = getattr(filt, "contains_many", None)
-                if contains_many is not None:
-                    answers = np.asarray(contains_many(sub.keys), dtype=bool)
-                else:
-                    answers = np.fromiter(
-                        (filt.contains(key) for key in sub.keys),
-                        dtype=bool,
-                        count=len(sub.keys),
-                    )
+            with stage("shard_probe", shard=int(shard), backend=self._backend_name):
+                answers = None
+                batch_fn = getattr(filt, "_contains_batch", None)
+                if batch_fn is not None:
+                    answers = batch_fn(sub)
+                if answers is None:
+                    contains_many = getattr(filt, "contains_many", None)
+                    if contains_many is not None:
+                        answers = np.asarray(contains_many(sub.keys), dtype=bool)
+                    else:
+                        answers = np.fromiter(
+                            (filt.contains(key) for key in sub.keys),
+                            dtype=bool,
+                            count=len(sub.keys),
+                        )
             results[positions] = answers
             with self._stats_lock:
                 stats = self._stats[int(shard)]

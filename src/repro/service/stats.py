@@ -1,13 +1,20 @@
-"""Statistics containers for the membership-serving subsystem.
+"""Statistics views for the membership-serving subsystem.
 
-The service reports two kinds of numbers: monotone counters (queries,
-positives, rebuilds, rejected batches — per shard and aggregated) and latency
-percentiles computed from a bounded window of recent per-key latencies via
-:func:`repro.metrics.timing.latency_percentiles`.
+The dataclasses here are *views*: since the telemetry layer landed, the
+monotone counters live in :mod:`repro.obs` registry instruments (one family
+per counter, children labelled per service / batcher instance) and
+``stats()`` materialises these snapshots by reading instrument values, so
+the long-standing ``stats()`` / ``STATS`` / ``GET /stats`` shapes survive
+unchanged while ``GET /metrics`` exposes the same numbers in Prometheus
+form.  Latency percentiles still come from a bounded
+:class:`LatencyWindow` of recent samples (exact p50/p95/p99 over a ring
+buffer — bucketed histograms cannot provide that), with the same samples
+mirrored into registry histograms for exposition.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -103,6 +110,10 @@ class ServiceStats:
             before the first load.
         batching: Micro-batcher counters when the snapshot was taken through
             an async front-end's ``stats()``; ``None`` for a bare service.
+        uptime_seconds: Seconds since this service instance was constructed.
+        rss_bytes: Resident set size of the process at snapshot time, or
+            ``None`` when the platform hides it (see
+            :func:`repro.metrics.memory.process_rss_bytes`).
     """
 
     generation: int
@@ -118,6 +129,8 @@ class ServiceStats:
     latency: Optional[LatencyPercentiles] = None
     rebuild_latency: Optional[LatencyPercentiles] = None
     batching: Optional[MicroBatchStats] = None
+    uptime_seconds: float = 0.0
+    rss_bytes: Optional[int] = None
 
 
 class LatencyWindow:
@@ -125,6 +138,13 @@ class LatencyWindow:
 
     Keeps the most recent ``capacity`` samples so percentiles reflect current
     behaviour rather than the whole process lifetime, with O(1) memory.
+
+    Recording and snapshotting share one internal lock: ``samples()`` and
+    ``percentiles()`` copy the window under the same lock ``record()``
+    mutates it with, so a reader racing a writer sees a consistent window
+    rather than a torn one (a ``list(...)`` copy concurrent with the ring
+    buffer's in-place eviction could otherwise observe a half-overwritten
+    window or resize mid-copy).
     """
 
     def __init__(self, capacity: int = 4096) -> None:
@@ -133,24 +153,30 @@ class LatencyWindow:
         self._capacity = capacity
         self._samples: List[float] = []
         self._cursor = 0
+        self._lock = threading.Lock()
 
     def record(self, seconds: float) -> None:
         """Add one sample, evicting the oldest once the window is full."""
-        if len(self._samples) < self._capacity:
-            self._samples.append(seconds)
-        else:
-            self._samples[self._cursor] = seconds
-            self._cursor = (self._cursor + 1) % self._capacity
+        with self._lock:
+            if len(self._samples) < self._capacity:
+                self._samples.append(seconds)
+            else:
+                self._samples[self._cursor] = seconds
+                self._cursor = (self._cursor + 1) % self._capacity
 
     def __len__(self) -> int:
-        return len(self._samples)
+        with self._lock:
+            return len(self._samples)
 
     def samples(self) -> List[float]:
         """A copy of the current window (so callers can summarise unlocked)."""
-        return list(self._samples)
+        with self._lock:
+            return list(self._samples)
 
     def percentiles(self) -> Optional[LatencyPercentiles]:
         """Summarise the window, or ``None`` when no samples were recorded."""
-        if not self._samples:
-            return None
-        return latency_percentiles(self._samples)
+        with self._lock:
+            if not self._samples:
+                return None
+            window = list(self._samples)
+        return latency_percentiles(window)

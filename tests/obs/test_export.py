@@ -1,0 +1,118 @@
+"""Exposition-format tests: TYPE headers, escaping, monotone counters.
+
+This is the /metrics contract suite: every family carries its ``# TYPE``
+line, label values escape correctly, histogram series decompose into
+``_bucket``/``_sum``/``_count``, and counters only ever grow between two
+scrapes of the same registry.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import CONTENT_TYPE, Registry, parse_families, render_text
+
+
+@pytest.fixture()
+def registry():
+    return Registry()
+
+
+def test_content_type_pins_the_exposition_version():
+    assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+def test_every_family_has_help_and_type_headers(registry):
+    registry.counter("a_total", "counts a").inc()
+    registry.gauge("b", "measures b").set(2)
+    registry.histogram("c_seconds", "times c").observe(0.01)
+    text = render_text(registry)
+    for name, kind in (("a_total", "counter"), ("b", "gauge"), ("c_seconds", "histogram")):
+        assert f"# HELP {name} " in text
+        assert f"# TYPE {name} {kind}" in text
+    families = parse_families(text)
+    assert families["a_total"][0] == "counter"
+    assert families["b"][0] == "gauge"
+    assert families["c_seconds"][0] == "histogram"
+
+
+def test_render_ends_with_newline(registry):
+    registry.counter("a_total", "help").inc()
+    assert render_text(registry).endswith("\n")
+
+
+def test_histogram_series_decompose(registry):
+    histogram = registry.histogram("h", "help", buckets=(1.0, 2.0))
+    histogram.observe(0.5)
+    histogram.observe(1.5)
+    histogram.observe(9.0)
+    text = render_text(registry)
+    samples = parse_families(text)["h"][1]
+    assert samples['h_bucket{le="1"}'] == 1.0
+    assert samples['h_bucket{le="2"}'] == 2.0
+    assert samples['h_bucket{le="+Inf"}'] == 3.0  # cumulative
+    assert samples["h_count"] == 3.0
+    assert samples["h_sum"] == pytest.approx(11.0)
+
+
+def test_label_values_are_escaped(registry):
+    counter = registry.counter("e_total", "help", ("path",))
+    counter.labels('with"quote\\and\nnewline').inc()
+    text = render_text(registry)
+    assert r'path="with\"quote\\and\nnewline"' in text
+    # The escaped line still parses back to the one sample.
+    samples = parse_families(text)["e_total"][1]
+    assert len(samples) == 1
+    assert next(iter(samples.values())) == 1.0
+
+
+def test_help_text_escapes_newlines(registry):
+    registry.counter("n_total", "line one\nline two").inc()
+    text = render_text(registry)
+    assert "# HELP n_total line one\\nline two" in text
+
+
+def test_special_float_values_render(registry):
+    gauge = registry.gauge("g", "help", ("kind",))
+    gauge.labels("inf").set(math.inf)
+    gauge.labels("ninf").set(-math.inf)
+    gauge.labels("int").set(3.0)
+    gauge.labels("frac").set(0.25)
+    text = render_text(registry)
+    assert 'g{kind="inf"} +Inf' in text
+    assert 'g{kind="ninf"} -Inf' in text
+    assert 'g{kind="int"} 3' in text  # integral values drop the decimal
+    assert 'g{kind="frac"} 0.25' in text
+
+
+def test_counters_are_monotone_across_scrapes(registry):
+    counter = registry.counter("m_total", "help", ("shard",))
+    histogram = registry.histogram("m_seconds", "help")
+    for shard in ("0", "1"):
+        counter.labels(shard).inc(3)
+    histogram.observe(0.5)
+    first = parse_families(render_text(registry))
+    counter.labels("0").inc(2)
+    histogram.observe(1.5)
+    second = parse_families(render_text(registry))
+    for name, (kind, samples) in first.items():
+        if kind != "counter" and not name.endswith("_seconds"):
+            continue
+        for series, value in samples.items():
+            if name == "m_seconds" and not (
+                "_bucket" in series or "_count" in series
+            ):
+                continue  # _sum can move by any amount; buckets/counts are monotone
+            assert second[name][1][series] >= value, series
+
+
+def test_parser_rejects_samples_outside_their_block():
+    with pytest.raises(ValueError):
+        parse_families("# TYPE a counter\nb 1\n")
+
+
+def test_empty_registry_renders_blank_exposition():
+    assert render_text(Registry()) == "\n"
+    assert parse_families(render_text(Registry())) == {}

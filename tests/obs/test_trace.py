@@ -1,0 +1,190 @@
+"""Tracing tests: no-op cost path, stage histograms, sampled span logs."""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.obs import Registry, Tracer, current_trace, span_log_to_jsonl, stage
+from repro.obs.trace import _NOOP
+
+
+class TestStageWithoutTrace:
+    def test_stage_is_the_shared_noop(self):
+        assert current_trace() is None
+        assert stage("anything", shard=1) is _NOOP
+
+    def test_noop_stage_is_a_context_manager(self):
+        with stage("anything"):
+            pass
+
+
+class TestTracer:
+    def test_stages_land_in_the_stage_histogram(self):
+        registry = Registry()
+        tracer = Tracer(registry=registry)
+        trace = tracer.begin()
+        with tracer.activate(trace):
+            with stage("engine_dispatch"):
+                pass
+            with stage("shard_probe", shard=0):
+                pass
+            with stage("shard_probe", shard=1):
+                pass
+        histogram = registry.get("repro_stage_seconds")
+        assert histogram.labels("engine_dispatch").count == 1
+        assert histogram.labels("shard_probe").count == 2
+
+    def test_activate_restores_previous_context(self):
+        tracer = Tracer(registry=Registry())
+        trace = tracer.begin()
+        assert current_trace() is None
+        with tracer.activate(trace):
+            assert current_trace() is trace
+        assert current_trace() is None
+
+    def test_trace_ids_are_unique(self):
+        tracer = Tracer(registry=Registry())
+        ids = {tracer.begin().trace_id for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_traces_total_counts_sampling_decisions(self):
+        registry = Registry()
+        spans = []
+        tracer = Tracer(
+            registry=registry,
+            sample_rate=1.0,
+            span_log=spans.append,
+            rng=random.Random(1),
+        )
+        for _ in range(3):
+            tracer.begin()
+        counter = registry.get("repro_traces_total")
+        assert counter.labels("true").value == 3.0
+
+    def test_unsampled_without_span_log(self):
+        # sample_rate=1.0 but no sink: nothing can receive spans, so traces
+        # are minted unsampled and only the histograms record.
+        tracer = Tracer(registry=Registry(), sample_rate=1.0)
+        assert tracer.begin().sampled is False
+
+
+class TestSpanLog:
+    def _traced_stages(self, sample_rate, seed=7):
+        spans = []
+        tracer = Tracer(
+            registry=Registry(),
+            sample_rate=sample_rate,
+            span_log=spans.append,
+            rng=random.Random(seed),
+        )
+        for _ in range(50):
+            trace = tracer.begin()
+            with tracer.activate(trace):
+                with stage("engine_dispatch", keys=4):
+                    pass
+        return spans
+
+    def test_rate_one_logs_every_trace(self):
+        spans = self._traced_stages(1.0)
+        assert len(spans) == 50
+        span = spans[0]
+        assert set(span) == {"trace_id", "span_id", "stage", "duration_seconds", "tags"}
+        assert span["stage"] == "engine_dispatch"
+        assert span["tags"] == {"keys": "4"}
+        assert span["duration_seconds"] >= 0.0
+
+    def test_rate_zero_logs_nothing(self):
+        assert self._traced_stages(0.0) == []
+
+    def test_fractional_rate_is_deterministic_with_seeded_rng(self):
+        first = self._traced_stages(0.2, seed=11)
+        second = self._traced_stages(0.2, seed=11)
+        assert [s["stage"] for s in first] == [s["stage"] for s in second]
+        assert 0 < len(first) < 50
+
+    def test_span_ids_increase_within_a_trace(self):
+        spans = []
+        tracer = Tracer(
+            registry=Registry(), sample_rate=1.0, span_log=spans.append,
+            rng=random.Random(3),
+        )
+        trace = tracer.begin()
+        with tracer.activate(trace):
+            with stage("a"):
+                pass
+            with stage("b"):
+                pass
+        assert [span["span_id"] for span in spans] == [1, 2]
+        assert len({span["trace_id"] for span in spans}) == 1
+
+    def test_broken_sink_never_breaks_the_stage(self):
+        def sink(span):
+            raise RuntimeError("log backend down")
+
+        tracer = Tracer(
+            registry=Registry(), sample_rate=1.0, span_log=sink, rng=random.Random(5)
+        )
+        trace = tracer.begin()
+        with tracer.activate(trace):
+            with stage("a"):
+                pass  # must not raise
+
+    def test_jsonl_helper_writes_one_object_per_line(self):
+        import io
+        import json
+
+        sink = io.StringIO()
+        tracer = Tracer(
+            registry=Registry(),
+            sample_rate=1.0,
+            span_log=span_log_to_jsonl(sink),
+            rng=random.Random(9),
+        )
+        trace = tracer.begin()
+        with tracer.activate(trace):
+            with stage("a"):
+                pass
+        lines = sink.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["stage"] == "a"
+
+
+class TestCrossThreadPropagation:
+    def test_copy_context_carries_the_trace_into_a_worker(self):
+        import contextvars
+
+        registry = Registry()
+        tracer = Tracer(registry=registry)
+        trace = tracer.begin()
+        seen = []
+
+        def worker():
+            seen.append(current_trace())
+            with stage("shard_probe", shard=0):
+                pass
+
+        with tracer.activate(trace):
+            context = contextvars.copy_context()
+            thread = threading.Thread(target=context.run, args=(worker,))
+            thread.start()
+            thread.join()
+        assert seen == [trace]
+        assert registry.get("repro_stage_seconds").labels("shard_probe").count == 1
+
+    def test_plain_thread_sees_no_trace(self):
+        tracer = Tracer(registry=Registry())
+        trace = tracer.begin()
+        seen = []
+        with tracer.activate(trace):
+            thread = threading.Thread(target=lambda: seen.append(current_trace()))
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+
+def test_invalid_sample_rate_rejected():
+    with pytest.raises(ValueError):
+        Tracer(registry=Registry(), sample_rate=1.5)

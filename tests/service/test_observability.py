@@ -1,0 +1,273 @@
+"""Telemetry integration: stats-as-views parity, /metrics endpoints, races.
+
+Covers the glue the obs unit tests cannot: the service and batcher counters
+are live views over registry instruments (``stats()`` and the exposition can
+never disagree), ``GET /metrics`` and the ``METRICS`` line command serve a
+valid exposition covering query/rebuild/batcher/shard families, and the
+:class:`LatencyWindow` snapshot race stays fixed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import threading
+
+import pytest
+
+from repro.obs import FprEstimator, Registry, parse_families, render_text
+from repro.service import (
+    AsyncMembershipServer,
+    LatencyWindow,
+    MembershipService,
+)
+
+KEYS = [f"key-{i}" for i in range(400)]
+
+
+@pytest.fixture()
+def registry():
+    return Registry()
+
+
+@pytest.fixture()
+def service(registry):
+    service = MembershipService(
+        backend="bloom", num_shards=2, bits_per_key=10.0, registry=registry
+    )
+    service.load(KEYS)
+    return service
+
+
+class TestStatsAreViews:
+    def test_counters_match_instrument_values(self, service, registry):
+        service.query(KEYS[0])
+        service.query("missing-key")
+        service.query_batch(KEYS[:100])
+        with pytest.raises(Exception):
+            service.query_batch([])
+        stats = service.stats()
+        label = service._obs_label
+        counter = registry.get("repro_service_queries_total")
+        assert stats.queries == 102 == int(counter.labels(label).value)
+        assert stats.batches == 1
+        assert stats.rejected_batches == 1
+        assert (
+            stats.positives
+            == int(registry.get("repro_service_positives_total").labels(label).value)
+        )
+
+    def test_rebuild_counters_and_gauges(self, service, registry):
+        service.rebuild(KEYS + ["extra-key"])
+        stats = service.stats()
+        label = service._obs_label
+        assert stats.rebuilds == 1
+        assert stats.generation == 2
+        assert registry.get("repro_service_generation").labels(label).value == 2.0
+        assert (
+            registry.get("repro_service_keys").labels(label).value
+            == len(KEYS) + 1
+        )
+        assert registry.get("repro_rebuild_seconds").labels(label).count == 2
+
+    def test_query_latency_mirrors_into_histogram(self, service, registry):
+        service.query_batch(KEYS[:50])
+        label = service._obs_label
+        histogram = registry.get("repro_query_seconds")
+        assert histogram.labels(label).count == 1  # one per-key-average sample
+        assert service.stats().latency.count == 1
+
+    def test_uptime_and_rss_surface_in_stats(self, service):
+        stats = service.stats()
+        assert stats.uptime_seconds > 0.0
+        # /proc is available on the platforms CI runs; tolerate None elsewhere.
+        assert stats.rss_bytes is None or stats.rss_bytes > 0
+
+    def test_two_services_share_families_but_not_children(self, registry):
+        first = MembershipService(
+            backend="bloom", num_shards=1, bits_per_key=8.0, registry=registry
+        )
+        second = MembershipService(
+            backend="bloom", num_shards=1, bits_per_key=8.0, registry=registry
+        )
+        first.load(KEYS[:10])
+        second.load(KEYS[:10])
+        first.query(KEYS[0])
+        assert first.stats().queries == 1
+        assert second.stats().queries == 0
+
+    def test_shard_collector_exports_live_views(self, service, registry):
+        service.query_batch(KEYS[:100])
+        families = parse_families(render_text(registry))
+        samples = families["repro_shard_queries_total"][1]
+        assert sum(samples.values()) == 100
+        assert families["repro_shard_keys"][0] == "gauge"
+        # A rebuild resets the per-shard counters (legal counter reset).
+        service.rebuild(KEYS)
+        samples = parse_families(render_text(registry))["repro_shard_queries_total"][1]
+        assert sum(samples.values()) == 0
+
+
+class TestFprWiring:
+    def test_estimator_families_appear_after_traffic(self, registry):
+        estimator = FprEstimator(sample_rate=1.0, rng=random.Random(3))
+        service = MembershipService(
+            backend="bloom",
+            num_shards=2,
+            bits_per_key=10.0,
+            registry=registry,
+            fpr_estimator=estimator,
+        )
+        service.load(KEYS)
+        service.query_batch(KEYS[:50] + [f"neg-{i}" for i in range(50)])
+        families = parse_families(render_text(registry))
+        sampled = families["repro_shard_fpr_sampled_total"][1]
+        assert sum(sampled.values()) >= 50  # every positive verdict sampled
+        assert "repro_shard_observed_fpr" in families
+        assert service.fpr_estimator is estimator
+
+
+class TestNetworkExposition:
+    def _serve(self, coroutine):
+        return asyncio.run(coroutine)
+
+    def test_http_metrics_serves_valid_exposition(self, service):
+        async def scenario():
+            async with AsyncMembershipServer(service, max_wait_ms=1.0) as server:
+                host, port = await server.start_http()
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"GET /query?key=key-1 HTTP/1.1\r\n\r\n")
+                await writer.drain()
+                await reader.read()
+                writer.close()
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"GET /metrics HTTP/1.1\r\n\r\n")
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                return raw
+
+        raw = self._serve(scenario())
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"200 OK" in head
+        assert b"Content-Type: text/plain; version=0.0.4; charset=utf-8" in head
+        families = parse_families(body.decode("utf-8"))
+        # The catalogue covers every subsystem: service counters, query and
+        # rebuild latencies, batcher counters, per-shard views, stage traces.
+        for name in (
+            "repro_service_queries_total",
+            "repro_query_seconds",
+            "repro_rebuild_seconds",
+            "repro_batch_flushes_total",
+            "repro_batch_size",
+            "repro_shard_queries_total",
+            "repro_stage_seconds",
+        ):
+            assert name in families, name
+        label = service._obs_label
+        series = families["repro_service_queries_total"][1]
+        assert series[f'repro_service_queries_total{{service="{label}"}}'] >= 1
+
+    def test_metrics_line_command_is_dot_terminated(self, service):
+        async def scenario():
+            async with AsyncMembershipServer(service, max_wait_ms=1.0) as server:
+                host, port = await server.start_tcp()
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"Q key-1\nMETRICS\nPING\n")
+                await writer.drain()
+                assert (await reader.readline()).startswith(b"V ")
+                lines = []
+                while True:
+                    line = (await reader.readline()).decode().rstrip("\n")
+                    if line == ".":
+                        break
+                    lines.append(line)
+                pong = await reader.readline()
+                writer.close()
+                return lines, pong
+
+        lines, pong = self._serve(scenario())
+        assert pong == b"PONG\n"
+        families = parse_families("\n".join(lines))
+        assert "repro_service_queries_total" in families
+        assert "repro_batch_flushes_total" in families
+
+    def test_stats_json_includes_uptime_and_rss(self, service):
+        async def scenario():
+            async with AsyncMembershipServer(service, max_wait_ms=1.0) as server:
+                host, port = await server.start_http()
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"GET /stats HTTP/1.1\r\n\r\n")
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                return raw
+
+        raw = self._serve(scenario())
+        payload = json.loads(raw.partition(b"\r\n\r\n")[2])
+        assert payload["uptime_seconds"] > 0.0
+        assert "rss_bytes" in payload
+
+    def test_batcher_stats_still_read_through_instruments(self, service):
+        async def scenario():
+            async with AsyncMembershipServer(service, max_wait_ms=1.0) as server:
+                front = server.batcher
+                answers = await asyncio.gather(
+                    *[front.query(key) for key in KEYS[:32]]
+                )
+                assert all(answers)
+                return front.batching_stats()
+
+        stats = self._serve(scenario())
+        assert stats.coalesced_keys == 32
+        assert stats.flushes == stats.full_flushes + stats.timer_flushes
+        assert stats.flushes >= 1
+
+
+class TestLatencyWindowRace:
+    """Regression: snapshots must be taken under the recording lock."""
+
+    def test_concurrent_record_and_percentiles_stay_consistent(self):
+        window = LatencyWindow(capacity=64)
+        valid = {float(i) for i in range(1000)}
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                window.record(float(i % 1000))
+                i += 1
+
+        def reader():
+            while not stop.is_set():
+                snapshot = window.samples()
+                if len(snapshot) > 64:
+                    failures.append(f"window overran capacity: {len(snapshot)}")
+                if not set(snapshot) <= valid:
+                    failures.append("torn window: unknown sample value")
+                summary = window.percentiles()
+                if summary is not None and not (
+                    0.0 <= summary.p50 <= 999.0 and 0.0 <= summary.p99 <= 999.0
+                ):
+                    failures.append(f"percentiles out of range: {summary}")
+
+        threads = [threading.Thread(target=writer) for _ in range(2)] + [
+            threading.Thread(target=reader) for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        stop.wait(timeout=0.5)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not failures, failures[:3]
+
+    def test_len_and_samples_agree_when_quiet(self):
+        window = LatencyWindow(capacity=4)
+        for i in range(7):
+            window.record(float(i))
+        assert len(window) == 4
+        assert len(window.samples()) == 4
+        assert window.percentiles() is not None
