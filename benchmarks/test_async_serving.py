@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import asyncio
 import json
-import platform
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -32,6 +31,7 @@ import pytest
 
 np = pytest.importorskip("numpy")
 
+from repro.metrics.benchmeta import bench_environment
 from repro.service import MembershipService
 from repro.service.aserve import AdaptiveMicroBatcher
 from repro.workloads.shalla import generate_shalla_like
@@ -120,8 +120,7 @@ def serving_report(serving_setup):
     total_keys = len(probe)
     report = {
         "benchmark": "async_serving",
-        "python": platform.python_version(),
-        "numpy": np.__version__,
+        **bench_environment(),
         "clients": NUM_CLIENTS,
         "keys_per_client": KEYS_PER_CLIENT,
         "backend": "bloom-dh",

@@ -20,13 +20,13 @@ Two invariants are gated here:
 from __future__ import annotations
 
 import json
-import platform
 from pathlib import Path
 
 import pytest
 
 np = pytest.importorskip("numpy")
 
+from repro.metrics.benchmeta import bench_environment
 from repro.baselines.weighted_bloom import WeightedBloomFilter
 from repro.baselines.xor_filter import XorFilter
 from repro.core.bloom import BloomFilter, optimal_num_hashes
@@ -118,8 +118,7 @@ def build_report(build_keys):
 
     report = {
         "benchmark": "batch_build",
-        "python": platform.python_version(),
-        "numpy": np.__version__,
+        **bench_environment(),
         "filters": {
             "bloom": bloom_entry,
             "wbf": wbf_entry,

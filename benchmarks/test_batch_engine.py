@@ -15,7 +15,6 @@ mixed positive/negative workload, the shape a blacklist gateway sees.
 from __future__ import annotations
 
 import json
-import platform
 import time
 from pathlib import Path
 
@@ -23,6 +22,7 @@ import pytest
 
 np = pytest.importorskip("numpy")
 
+from repro.metrics.benchmeta import bench_environment
 from repro.core.bloom import BloomFilter, optimal_num_hashes
 from repro.core.habf import HABF
 from repro.core.params import HABFParams
@@ -101,8 +101,7 @@ def engine_report():
 
     report = {
         "benchmark": "batch_engine",
-        "python": platform.python_version(),
-        "numpy": np.__version__,
+        **bench_environment(),
         "filters": {
             "bloom": _measure(bloom, probe),
             "habf": _measure(habf, probe),

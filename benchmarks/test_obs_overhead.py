@@ -34,7 +34,6 @@ from __future__ import annotations
 
 import asyncio
 import json
-import platform
 import random
 import statistics
 import time
@@ -44,6 +43,7 @@ import pytest
 
 np = pytest.importorskip("numpy")
 
+from repro.metrics.benchmeta import bench_environment
 from repro.hashing import vectorized as vec
 from repro.obs import FprEstimator, NullRegistry, Registry, Tracer, render_text
 from repro.service import MembershipService
@@ -171,8 +171,7 @@ def overhead_report():
     total_keys = len(probe)
     report = {
         "benchmark": "obs_overhead",
-        "python": platform.python_version(),
-        "numpy": np.__version__,
+        **bench_environment(),
         "backend": "bloom-dh",
         "window_keys": WINDOW,
         "rounds": ROUNDS,

@@ -21,11 +21,11 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 from pathlib import Path
 
 import pytest
 
+from repro.metrics.benchmeta import bench_environment
 from repro.metrics.timing import Stopwatch
 from repro.service import codec
 from repro.service.server import MembershipService
@@ -127,7 +127,7 @@ def rebuild_report(dataset):
 
     report = {
         "benchmark": "rebuild",
-        "python": platform.python_version(),
+        **bench_environment(),
         "cpu_count": os.cpu_count(),
         "num_keys": NUM_KEYS,
         "num_shards": NUM_SHARDS,

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Async blacklist gateway: TCP server + concurrent clients, one process.
+"""Async blacklist gateway: TCP server + concurrent clients.
 
 The asyncio companion to ``examples/membership_service.py``: the same
 sharded, hot-rebuildable service, but served over the network through
@@ -14,17 +14,25 @@ exported metric families (``docs/OBSERVABILITY.md``).
 
 Run with::
 
-    python examples/async_gateway.py
+    python examples/async_gateway.py                # one process
+    python examples/async_gateway.py --workers 4    # replica pool, 4 processes
+
+With ``--workers N > 1`` the engine behind the gateway is a
+:class:`repro.service.ReplicaPool`: N worker processes serving the same
+shared-memory filter arena, with the micro-batcher keeping N windows in
+flight (``docs/SERVING.md`` covers when that pays).  The shutdown telemetry
+then also reports per-replica throughput.
 
 See ``docs/SERVING.md`` for the protocol spec and tuning guidance.
 """
 
 from __future__ import annotations
 
+import argparse
 import asyncio
 
 from repro.obs import FprEstimator, Registry, render_text
-from repro.service import AsyncMembershipServer, MembershipService
+from repro.service import AsyncMembershipServer, MembershipService, ReplicaPool
 from repro.workloads import generate_shalla_like
 
 NUM_CLIENTS = 16
@@ -45,23 +53,33 @@ async def line_client(host: str, port: int, keys) -> list:
     return answers
 
 
-async def main() -> None:
+async def main(workers: int = 1) -> None:
     dataset = generate_shalla_like(num_positives=4_000, num_negatives=4_000, seed=11)
     registry = Registry()
-    service = MembershipService(
-        backend="bloom-dh",
-        num_shards=4,
-        bits_per_key=10.0,
-        registry=registry,
-        # Rate 1.0 shadow-checks every positive verdict — right for a demo;
-        # production gateways keep the 0.05 default.
-        fpr_estimator=FprEstimator(sample_rate=1.0),
-    )
-    service.load(dataset.positives, dataset.negatives[:2_000])
+    if workers > 1:
+        engine = ReplicaPool(
+            replicas=workers,
+            backend="bloom-dh",
+            num_shards=4,
+            bits_per_key=10.0,
+            registry=registry,
+        )
+    else:
+        engine = MembershipService(
+            backend="bloom-dh",
+            num_shards=4,
+            bits_per_key=10.0,
+            registry=registry,
+            # Rate 1.0 shadow-checks every positive verdict — right for a
+            # demo; production gateways keep the 0.05 default.
+            fpr_estimator=FprEstimator(sample_rate=1.0),
+        )
+    engine.load(dataset.positives, dataset.negatives[:2_000])
 
-    async with AsyncMembershipServer(service, max_batch=256, max_wait_ms=2.0) as server:
+    async with AsyncMembershipServer(engine, max_batch=256, max_wait_ms=2.0) as server:
         host, port = await server.start_tcp()
-        print(f"serving generation {service.generation} on {host}:{port}")
+        mode = f"{workers} replica processes" if workers > 1 else "one process"
+        print(f"serving generation {engine.generation} on {host}:{port} ({mode})")
 
         # Wave 1: concurrent clients checking blacklisted URLs.
         jobs = [
@@ -73,10 +91,13 @@ async def main() -> None:
         generations = {generation for wave in waves for _, generation in wave}
         print(f"wave 1: {NUM_CLIENTS * KEYS_PER_CLIENT} keys, generations seen: {generations}")
 
-        # The blacklist is refreshed while the gateway keeps serving.
+        # The blacklist is refreshed while the gateway keeps serving.  For a
+        # replica pool this rolls every worker onto the new shared arena; no
+        # in-flight window mixes generations either way.
         refreshed = dataset.positives[500:] + [f"new-threat-{i}.example" for i in range(500)]
-        service.rebuild(refreshed, dataset.negatives[:2_000])
-        print(f"hot rebuild complete -> generation {service.generation}")
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, engine.rebuild, refreshed, dataset.negatives[:2_000])
+        print(f"hot rebuild complete -> generation {engine.generation}")
 
         # Wave 2 sees the new generation, old answers were never interrupted.
         wave = await line_client(host, port, refreshed[-5:])
@@ -112,27 +133,47 @@ async def main() -> None:
 
     # The server is down; the registry still holds everything it exported.
     # This is the snapshot an operator's last scrape would have carried.
-    print("\nfinal telemetry snapshot (per-shard live FPR):")
-    for estimate in service.fpr_estimates():
-        observed = (
-            f"{estimate.observed_fpr:.4%}"
-            if estimate.observed_fpr is not None
-            else "n/a"
-        )
-        print(
-            f"  shard {estimate.shard}: sampled={estimate.sampled} "
-            f"false_positives={estimate.false_positives} observed_fpr={observed}"
-        )
+    if workers > 1:
+        print("\nper-replica throughput (windows dispatched by the pool):")
+        uptime = engine.stats().uptime_seconds or 1.0
+        for report in engine.stats_by_replica():
+            print(
+                f"  replica {report['replica']} (pid {report['pid']}): "
+                f"{report['queries']} keys in {report['batches']} windows, "
+                f"{report['queries'] / uptime:,.0f} q/s, "
+                f"rss {(report['rss_bytes'] or 0) / 1e6:.0f} MB"
+            )
+        engine.close()
+    else:
+        print("\nfinal telemetry snapshot (per-shard live FPR):")
+        for estimate in engine.fpr_estimates():
+            observed = (
+                f"{estimate.observed_fpr:.4%}"
+                if estimate.observed_fpr is not None
+                else "n/a"
+            )
+            print(
+                f"  shard {estimate.shard}: sampled={estimate.sampled} "
+                f"false_positives={estimate.false_positives} observed_fpr={observed}"
+            )
     families = sum(
         1 for line in render_text(registry).splitlines() if line.startswith("# TYPE")
     )
-    service_stats = service.stats()
+    engine_stats = engine.stats()
     print(
         f"  {families} metric families exported; uptime "
-        f"{service_stats.uptime_seconds:.1f}s, rss "
-        f"{(service_stats.rss_bytes or 0) / 1e6:.0f} MB"
+        f"{engine_stats.uptime_seconds:.1f}s, rss "
+        f"{(engine_stats.rss_bytes or 0) / 1e6:.0f} MB"
     )
 
 
 if __name__ == "__main__":
-    asyncio.run(main())
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="replica processes to serve from (1 = single-process engine)",
+    )
+    arguments = parser.parse_args()
+    asyncio.run(main(workers=arguments.workers))

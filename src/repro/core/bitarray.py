@@ -181,6 +181,45 @@ class BitArray:
         array._buffer[:] = data
         return array
 
+    @classmethod
+    def view(cls, num_bits: int, buffer) -> "BitArray":
+        """Wrap an existing buffer as a :class:`BitArray` without copying.
+
+        ``buffer`` is any object exporting the buffer protocol over exactly
+        ``(num_bits + 7) // 8`` bytes — a ``bytes``, ``bytearray``,
+        ``memoryview``, or a slice of a ``multiprocessing.shared_memory``
+        mapping.  The returned array *aliases* the buffer: no bytes are
+        copied, and :meth:`test` / :meth:`test_many` / :meth:`to_bytes` read
+        straight from it.  This is what lets N replica processes serve the
+        same filter payload from one shared-memory segment.
+
+        Mutators (:meth:`set`, :meth:`set_many`, :meth:`clear`,
+        :meth:`reset`) work only when the buffer is writable; over a
+        read-only buffer they raise ``TypeError``/``ValueError`` from the
+        buffer itself.  Serving-side filters are immutable after build, so
+        read-only views are the intended use.
+        """
+        if num_bits <= 0:
+            raise ConfigurationError(f"BitArray size must be positive, got {num_bits}")
+        data = memoryview(buffer).cast("B")
+        expected = (num_bits + 7) // 8
+        if data.nbytes != expected:
+            raise ConfigurationError(
+                f"expected {expected} bytes for {num_bits} bits, got {data.nbytes}"
+            )
+        array = cls.__new__(cls)
+        array._num_bits = num_bits
+        array._buffer = data
+        return array
+
+    @property
+    def writable(self) -> bool:
+        """``False`` when this array is a read-only :meth:`view`."""
+        buffer = self._buffer
+        if isinstance(buffer, memoryview):
+            return not buffer.readonly
+        return True
+
     def size_in_bytes(self) -> int:
         """Return the storage footprint of the bit payload in bytes."""
         return len(self._buffer)

@@ -672,13 +672,27 @@ def batch_primitive_for(
 #: batch (see ``BloomFilter._probe_batch``).
 _PARENT_EAGER_ROWS = 4096
 
+#: Below this row count the scalar primitive loop beats the numpy column
+#: pass.  The column pass costs a near-constant ~200-400us setup (one Python
+#: iteration per key-byte column, each running a handful of ufuncs on a tiny
+#: array) while the scalar loop costs ~1-7us per key, so tiny batches — a
+#: dispatcher's per-replica sub-window, a single-key probe riding the batch
+#: path — were paying 10-30x overhead.  Measured on this repo's Shalla-like
+#: keys (~25-byte URLs): scalar wins at <=32 rows for every primitive tried
+#: (xxhash, bkdr, crc32, fnv1a; crossover lands in the 32-48 row band), so
+#: 32 is the conservative cut.  Results are bit-identical either way (the
+#: vectorized twins are pinned bit-for-bit against the scalar primitives),
+#: and memoisation/slicing semantics are unchanged.
+SCALAR_CROSSOVER_ROWS = 32
+
 
 def hash_batch(primitive: Callable[[bytes], int], batch: KeyBatch):
     """Hash every key in ``batch`` with ``primitive`` as one uint64 vector.
 
-    Uses the vectorized twin when one exists; otherwise evaluates the scalar
-    primitive per key (still saving the per-key normalisation, since the
-    batch carries pre-encoded bytes).  Results are memoised on the batch, so
+    Uses the vectorized twin when one exists and the batch is larger than
+    :data:`SCALAR_CROSSOVER_ROWS`; otherwise evaluates the scalar primitive
+    per key (still saving the per-key normalisation, since the batch carries
+    pre-encoded bytes).  Results are memoised on the batch, so
     engine stages that derive several values from one primitive pass (Xor
     slots + fingerprints, WBF base/step, double-hashing bases) hash each key
     once per batch.
@@ -700,7 +714,7 @@ def hash_batch(primitive: Callable[[bytes], int], batch: KeyBatch):
         values = hash_batch(primitive, parent)[batch._rows]
     else:
         vectorized = _BY_CALLABLE.get(primitive)
-        if vectorized is not None:
+        if vectorized is not None and len(batch) > SCALAR_CROSSOVER_ROWS:
             values = vectorized(batch)
         else:
             values = np.fromiter(

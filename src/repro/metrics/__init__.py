@@ -8,6 +8,7 @@ These implement the four metrics of the paper's Section V-B:
 4. construction memory consumption — :mod:`repro.metrics.memory`.
 """
 
+from repro.metrics.benchmeta import bench_environment
 from repro.metrics.fpr import (
     EvaluationResult,
     evaluate_filter,
@@ -29,6 +30,7 @@ from repro.metrics.timing import (
 )
 
 __all__ = [
+    "bench_environment",
     "EvaluationResult",
     "evaluate_filter",
     "false_positive_rate",

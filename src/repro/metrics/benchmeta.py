@@ -1,0 +1,40 @@
+"""Environment metadata stamped into every ``BENCH_*.json`` report.
+
+Benchmark numbers are only comparable between runs that saw similar iron:
+a 1-core container and an 8-core CI runner produce legitimately different
+throughput, and the multiproc serving benchmark scales with ``cpu_count``
+outright.  Every bench writer merges :func:`bench_environment` into its
+report so a reader (or a later PR diffing the trend) can tell whether a
+regression is code or hardware.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from typing import Dict, Optional
+
+
+def bench_environment() -> Dict[str, object]:
+    """The environment fields every benchmark report carries.
+
+    Returns plain JSON-serializable values: ``python`` (interpreter
+    version), ``platform`` (e.g. ``Linux-6.18``-style), ``machine``
+    (architecture), ``cpu_count`` (``os.cpu_count()``, ``None`` when the
+    platform cannot say), and ``numpy`` (version string or ``None`` when
+    the optional dependency is absent).
+    """
+    numpy_version: Optional[str] = None
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is present in CI
+        pass
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy_version,
+    }

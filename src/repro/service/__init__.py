@@ -25,6 +25,12 @@ blacklist-gateway / LSM read-path setting the paper motivates:
   :class:`AdaptiveMicroBatcher` coalesces concurrent callers into engine
   batches and :class:`AsyncMembershipServer` exposes TCP/HTTP protocols on
   top of it (see ``docs/SERVING.md``).
+* :mod:`repro.service.multiproc` — the multi-process serving tier:
+  :class:`SharedFrameArena` lays a whole store's codec frame out in one
+  ``multiprocessing.shared_memory`` segment and :class:`ReplicaPool` runs R
+  worker processes that decode it zero-copy and answer micro-batch windows
+  (pipe dispatch or ``SO_REUSEPORT`` direct accept), with
+  generation-consistent fleet-wide rebuilds.
 * :mod:`repro.service.stats` — the stats dataclasses shared by the above
   (since the telemetry layer, views over :mod:`repro.obs` registry
   instruments; ``GET /metrics`` and the ``METRICS`` line command expose the
@@ -47,6 +53,7 @@ from repro.service.codec import (
     loads,
     loads_as,
 )
+from repro.service.multiproc import ReplicaPool, SharedFrameArena
 from repro.service.server import BatchAnswer, MembershipService, Snapshot
 from repro.service.shards import EmptyShardFilter, ShardRouter, ShardedFilterStore
 from repro.service.stats import (
@@ -62,6 +69,8 @@ __all__ = [
     "BatchAnswer",
     "AdaptiveMicroBatcher",
     "AsyncMembershipServer",
+    "ReplicaPool",
+    "SharedFrameArena",
     "MicroBatchStats",
     "ShardedFilterStore",
     "ShardRouter",

@@ -123,8 +123,17 @@ class AdaptiveMicroBatcher:
             goes quiet; raise it to trade latency for larger batches under
             sparse open-loop traffic).
         executor: Worker pool for engine dispatches.  Defaults to a private
-            single thread (dispatches are serialized; the GIL makes more
-            threads pointless for this CPU-bound work).
+            pool of ``dispatch_parallelism`` threads.
+        dispatch_parallelism: How many flush windows may be in flight at
+            once.  Defaults to the service's ``dispatch_parallelism``
+            attribute when it has one (a
+            :class:`~repro.service.multiproc.ReplicaPool` reports its
+            replica count) and 1 otherwise.  At 1 — the in-process default —
+            dispatches are serialized exactly as before; the GIL makes more
+            threads pointless for single-process CPU-bound work.  Above 1
+            the flusher hands each window to a dispatch task and immediately
+            starts collecting the next, so R replica processes answer R
+            windows concurrently.
         stats_window: Samples kept for each percentile distribution.
         tracer: Mints one trace per flush window (stages ``queue_wait``,
             ``window_assembly``, ``engine_dispatch``, and — inside the store
@@ -145,6 +154,7 @@ class AdaptiveMicroBatcher:
         executor: Optional[ThreadPoolExecutor] = None,
         stats_window: int = 4096,
         tracer: Optional[Tracer] = None,
+        dispatch_parallelism: Optional[int] = None,
     ) -> None:
         if max_batch < 1:
             raise ConfigurationError("max_batch must be at least 1")
@@ -156,14 +166,21 @@ class AdaptiveMicroBatcher:
             )
         if min_wait_ms < 0 or max_wait_ms < min_wait_ms:
             raise ConfigurationError("need 0 <= min_wait_ms <= max_wait_ms")
+        if dispatch_parallelism is None:
+            dispatch_parallelism = int(getattr(service, "dispatch_parallelism", 1))
+        if dispatch_parallelism < 1:
+            raise ConfigurationError("dispatch_parallelism must be at least 1")
+        self._parallelism = dispatch_parallelism
         self._service = service
         self._max_batch = max_batch
         self._max_wait = max_wait_ms / 1e3
         self._min_wait = min_wait_ms / 1e3
         self._owns_executor = executor is None
         self._executor = executor or ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="aserve-dispatch"
+            max_workers=dispatch_parallelism, thread_name_prefix="aserve-dispatch"
         )
+        self._inflight: set = set()
+        self._inflight_sem: Optional[asyncio.Semaphore] = None
         self._spans: Deque[_Span] = deque()
         self._pending_keys = 0
         self._arrivals = 0
@@ -327,6 +344,8 @@ class AdaptiveMicroBatcher:
             with contextlib.suppress(asyncio.CancelledError):
                 await self._flusher
             self._flusher = None
+        if self._inflight:
+            await asyncio.gather(*tuple(self._inflight), return_exceptions=True)
         if self._owns_executor:
             self._executor.shutdown(wait=True)
 
@@ -375,6 +394,8 @@ class AdaptiveMicroBatcher:
         if self._flusher is None or self._flusher.done():
             self._wake = asyncio.Event()
             self._more = asyncio.Event()
+            if self._parallelism > 1 and self._inflight_sem is None:
+                self._inflight_sem = asyncio.Semaphore(self._parallelism)
             self._flusher = asyncio.get_running_loop().create_task(
                 self._run(), name="aserve-flusher"
             )
@@ -474,14 +495,51 @@ class AdaptiveMicroBatcher:
             tracer.record_stage(trace, "queue_wait", waited_seconds, keys=taken_keys)
             with stage("window_assembly", spans=len(spans)):
                 request = self._assemble(spans)
-            try:
-                with stage("engine_dispatch", keys=taken_keys):
-                    answer = await self._dispatch(request)
-            except Exception as exc:  # ServiceError (no snapshot yet) included
-                for span in spans:
-                    if not span.future.done():
-                        span.future.set_exception(exc)
+            if self._parallelism <= 1:
+                try:
+                    with stage("engine_dispatch", keys=taken_keys):
+                        answer = await self._dispatch(request)
+                except Exception as exc:  # ServiceError (no snapshot yet) included
+                    self._fail_window(spans, exc)
+                    return
+                self._settle_window(spans, answer, taken_keys, waited_seconds)
                 return
+        # Pipelined dispatch: hand the window to a task and immediately go
+        # back to collecting the next one.  The semaphore bounds windows in
+        # flight to the dispatch parallelism, so a slow engine backs traffic
+        # up into (larger) windows instead of unbounded tasks.
+        await self._inflight_sem.acquire()
+        task = asyncio.get_running_loop().create_task(
+            self._dispatch_window(trace, spans, request, taken_keys, waited_seconds)
+        )
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _dispatch_window(
+        self, trace, spans: List[_Span], request, taken_keys: int, waited_seconds: float
+    ) -> None:
+        """One in-flight window: dispatch, then settle its waiters."""
+        tracer = self._tracer
+        try:
+            with tracer.activate(trace):
+                try:
+                    with stage("engine_dispatch", keys=taken_keys):
+                        answer = await self._dispatch(request)
+                except Exception as exc:
+                    self._fail_window(spans, exc)
+                    return
+            self._settle_window(spans, answer, taken_keys, waited_seconds)
+        finally:
+            self._inflight_sem.release()
+
+    def _fail_window(self, spans: List[_Span], exc: Exception) -> None:
+        for span in spans:
+            if not span.future.done():
+                span.future.set_exception(exc)
+
+    def _settle_window(
+        self, spans: List[_Span], answer, taken_keys: int, waited_seconds: float
+    ) -> None:
         self._coalesced_keys.inc(taken_keys)
         if taken_keys >= self._max_batch:
             self._full_flushes.inc()
@@ -601,10 +659,19 @@ class AsyncMembershipServer:
         """The micro-batcher every connection dispatches through."""
         return self._batcher
 
-    async def start_tcp(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
-        """Start the line-protocol listener; returns the bound (host, port)."""
+    async def start_tcp(
+        self, host: str = "127.0.0.1", port: int = 0, reuse_port: bool = False
+    ) -> Tuple[str, int]:
+        """Start the line-protocol listener; returns the bound (host, port).
+
+        ``reuse_port=True`` sets ``SO_REUSEPORT`` before binding, so several
+        processes can listen on the same port and the kernel load-balances
+        accepted connections across them — the direct-accept mode of
+        :class:`~repro.service.multiproc.ReplicaPool`.
+        """
+        kwargs = {"reuse_port": True} if reuse_port else {}
         server = await asyncio.start_server(
-            self._handle_tcp, host, port, limit=_STREAM_LIMIT_BYTES
+            self._handle_tcp, host, port, limit=_STREAM_LIMIT_BYTES, **kwargs
         )
         self._servers.append(server)
         bound = server.sockets[0].getsockname()

@@ -142,13 +142,21 @@ class _Writer:
 
 
 class _Reader:
-    """Sequential big-endian reader that fails loudly on truncation."""
+    """Sequential big-endian reader that fails loudly on truncation.
 
-    def __init__(self, data: bytes) -> None:
-        self._data = data
+    With ``zero_copy=True`` the reader hands out :class:`memoryview` slices
+    of the input buffer instead of ``bytes`` copies, so bulk payloads (the
+    ``BitArray`` bits of every decoded filter) alias the caller's buffer —
+    the mechanism behind shared-memory replica serving.  Decoders that need
+    real ``bytes`` (text, dict keys) convert explicitly.
+    """
+
+    def __init__(self, data, *, zero_copy: bool = False) -> None:
+        self._data = memoryview(data) if zero_copy else data
         self._pos = 0
+        self.zero_copy = zero_copy
 
-    def take(self, count: int) -> bytes:
+    def take(self, count: int):
         end = self._pos + count
         if count < 0 or end > len(self._data):
             raise CodecError(
@@ -177,11 +185,11 @@ class _Reader:
     def f64(self) -> float:
         return self._unpack(_F64)
 
-    def bytes_field(self) -> bytes:
+    def bytes_field(self):
         return self.take(self.u32())
 
     def str_field(self) -> str:
-        return self.bytes_field().decode("utf-8")
+        return bytes(self.bytes_field()).decode("utf-8")
 
     def expect_end(self) -> None:
         if self._pos != len(self._data):
@@ -251,6 +259,10 @@ def _decode_bitarray(reader: _Reader) -> BitArray:
     if num_bits == 0:
         raise CodecError("BitArray frame declares zero bits")
     try:
+        if reader.zero_copy:
+            # The decoded array aliases the frame buffer: replicas mapping a
+            # SharedFrameArena probe filter bits straight from the segment.
+            return BitArray.view(num_bits, payload)
         return BitArray.from_bytes(num_bits, payload)
     except Exception as exc:  # ConfigurationError on length mismatch
         raise CodecError(f"invalid BitArray payload: {exc}") from exc
@@ -370,12 +382,12 @@ def _decode_habf(reader: _Reader, cls: type) -> HABF:
         raise CodecError(f"invalid HABF frame parameters: {exc}") from exc
     use_gamma = reader.u8() != 0
     built = reader.u8() != 0
-    bloom = loads(reader.bytes_field())
+    bloom = loads(reader.bytes_field(), zero_copy=reader.zero_copy)
     if not isinstance(bloom, BloomFilter):
         raise CodecError("HABF frame does not embed a Bloom-filter frame")
     expressor: Optional[HashExpressor] = None
     if reader.u8():
-        nested = loads(reader.bytes_field())
+        nested = loads(reader.bytes_field(), zero_copy=reader.zero_copy)
         if not isinstance(nested, HashExpressor):
             raise CodecError("HABF frame does not embed a HashExpressor frame")
         expressor = nested
@@ -451,7 +463,8 @@ def _encode_key(writer: _Writer, key) -> None:
 def _decode_key(reader: _Reader):
     kind = reader.u8()
     if kind == _KEY_BYTES:
-        return reader.bytes_field()
+        # Cache keys must be real (hashable) bytes even in zero-copy mode.
+        return bytes(reader.bytes_field())
     if kind == _KEY_STR:
         return reader.str_field()
     if kind == _KEY_INT:
@@ -562,7 +575,7 @@ def _decode_model(reader: _Reader):
 
 
 def _nested_model(reader: _Reader):
-    model = loads(reader.bytes_field())
+    model = loads(reader.bytes_field(), zero_copy=reader.zero_copy)
     from repro.baselines.learned.model import KeyScoreModel
 
     if not isinstance(model, KeyScoreModel):
@@ -573,7 +586,7 @@ def _nested_model(reader: _Reader):
 def _nested_bloom(reader: _Reader) -> Optional[BloomFilter]:
     if not reader.u8():
         return None
-    bloom = loads(reader.bytes_field())
+    bloom = loads(reader.bytes_field(), zero_copy=reader.zero_copy)
     if not isinstance(bloom, BloomFilter):
         raise CodecError("learned-filter frame does not embed a Bloom-filter frame")
     return bloom
@@ -710,7 +723,7 @@ def _decode_store(reader: _Reader, version: int) -> Any:
             # first incremental rebuild treats those shards as dirty).
             generations.append(1)
             fingerprints.append(None)
-        filters.append(loads(reader.bytes_field()))
+        filters.append(loads(reader.bytes_field(), zero_copy=reader.zero_copy))
     return ShardedFilterStore.from_parts(
         filters=filters,
         router_seed=router_seed,
@@ -787,8 +800,17 @@ def dumps(obj: Any) -> bytes:
     return header + payload + struct.pack(">I", crc)
 
 
-def loads(data: bytes) -> Any:
+def loads(data, *, zero_copy: bool = False) -> Any:
     """Decode one binary frame back into the filter structure it encodes.
+
+    Args:
+        data: The frame bytes — any buffer-protocol object (``bytes``,
+            ``memoryview``, a ``multiprocessing.shared_memory`` slice).
+        zero_copy: When true, decoded ``BitArray`` payloads *alias* ``data``
+            instead of copying it, so the caller's buffer must outlive the
+            decoded structure and the filters come back read-only (see
+            :meth:`repro.core.bitarray.BitArray.view`).  Slot-table filters
+            (Xor, HashExpressor) decode into their own arrays regardless.
 
     Raises:
         CodecError: on bad magic, unsupported version, unknown type tag,
@@ -812,14 +834,15 @@ def loads(data: bytes) -> Any:
             f"frame length mismatch: header declares {length} payload bytes "
             f"but frame holds {len(data) - _HEADER.size - 4}"
         )
-    payload = data[_HEADER.size : end]
+    view = memoryview(data) if not isinstance(data, (bytes, bytearray)) else data
+    payload = view[_HEADER.size : end]
     (stored_crc,) = struct.unpack_from(">I", data, end)
-    actual_crc = zlib.crc32(data[4:end])
+    actual_crc = zlib.crc32(view[4:end])
     if stored_crc != actual_crc:
         raise CodecError(
             f"checksum mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
         )
-    reader = _Reader(payload)
+    reader = _Reader(payload, zero_copy=zero_copy)
     try:
         if tag == TAG_BITARRAY:
             result: Any = _decode_bitarray(reader)
@@ -866,7 +889,7 @@ def loads(data: bytes) -> Any:
     return result
 
 
-def loads_as(data: bytes, cls: type) -> Any:
+def loads_as(data, cls: type, *, zero_copy: bool = False) -> Any:
     """Decode one frame and require the result to be an instance of ``cls``.
 
     The typed twin of :func:`loads`, used by the ``from_frame`` classmethods
@@ -876,7 +899,7 @@ def loads_as(data: bytes, cls: type) -> Any:
         CodecError: for every malformed frame, and additionally when the
             frame decodes to a different structure than ``cls``.
     """
-    obj = loads(data)
+    obj = loads(data, zero_copy=zero_copy)
     if not isinstance(obj, cls):
         raise CodecError(
             f"frame holds {type(obj).__name__}, expected {cls.__name__}"

@@ -367,16 +367,34 @@ class MembershipService:
             estimator.set_key_oracle(keys)
         return generation
 
-    def install_snapshot(self, store: ShardedFilterStore, num_keys: Optional[int] = None) -> int:
+    def install_snapshot(
+        self,
+        store: ShardedFilterStore,
+        num_keys: Optional[int] = None,
+        generation: Optional[int] = None,
+    ) -> int:
         """Swap in an externally built (e.g. codec-loaded) store.
 
         The service adopts the store's shard count and router seed so that a
         later :meth:`rebuild` produces comparable shard placement instead of
         silently reverting to the constructor's geometry.
+
+        ``generation`` pins the installed snapshot to an externally assigned
+        version instead of the local ``previous + 1`` counter.  Replica
+        processes serving a :class:`~repro.service.multiproc.SharedFrameArena`
+        use this so every replica answers with the *builder's* generation
+        number — the property that lets a dispatcher assert no window ever
+        mixes generations across replicas.  It must move forward.
         """
         with self._swap_lock:
             previous = self._snapshot
-            generation = previous.generation + 1 if previous else 1
+            if generation is None:
+                generation = previous.generation + 1 if previous else 1
+            elif previous is not None and generation <= previous.generation:
+                raise ServiceError(
+                    f"snapshot generation must move forward: {generation} <= "
+                    f"current {previous.generation}"
+                )
             self._num_shards = store.num_shards
             self._router_seed = store.router_seed
             self._snapshot = Snapshot(

@@ -616,6 +616,17 @@ class ShardedFilterStore:
         """Total serialized filter payload across shards, in bits."""
         return sum(self._filter_bits(shard) for shard in range(len(self._filters)))
 
+    def size_in_bytes(self) -> int:
+        """Total filter payload in bytes (rounded up per shard).
+
+        This is the footprint replicas share when the store is served from a
+        :class:`~repro.service.multiproc.SharedFrameArena` — the multiproc
+        benchmark compares per-extra-replica RSS growth against it.
+        """
+        return sum(
+            (self._filter_bits(shard) + 7) // 8 for shard in range(len(self._filters))
+        )
+
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #

@@ -131,3 +131,48 @@ class TestSerialization:
         b.set(1)
         assert a != b
         assert a != "not a bitarray"
+
+
+class TestBufferView:
+    def test_view_aliases_the_buffer(self):
+        bits = BitArray(19)
+        bits.set_all([0, 5, 18])
+        backing = bytearray(bits.to_bytes())
+        view = BitArray.view(19, backing)
+        assert view == bits
+        assert view.test(5)
+        backing[0] = 0  # clear the low byte out from under the view
+        assert not view.test(0)
+        assert not view.test(5)
+        assert view.test(18)
+
+    def test_view_over_readonly_buffer_rejects_mutation(self):
+        bits = BitArray(9)
+        bits.set(3)
+        view = BitArray.view(9, bits.to_bytes())
+        assert not view.writable
+        assert view.test(3)
+        with pytest.raises((TypeError, ValueError)):
+            view.set(1)
+
+    def test_writable_view_mutates_the_buffer(self):
+        backing = bytearray(2)
+        view = BitArray.view(16, backing)
+        assert view.writable
+        view.set(0)
+        assert backing[0] != 0  # the buffer saw the write
+
+    def test_view_validates_sizes(self):
+        with pytest.raises(ConfigurationError):
+            BitArray.view(0, b"")
+        with pytest.raises(ConfigurationError):
+            BitArray.view(19, b"\x00")
+
+    def test_view_round_trips_and_copies_detach(self):
+        backing = bytearray(BitArray(24).to_bytes())
+        view = BitArray.view(24, backing)
+        clone = view.copy()
+        assert clone.writable  # copies own their bytes
+        clone.set(7)
+        assert backing[0] == 0  # ...so the backing buffer is untouched
+        assert BitArray.from_bytes(24, view.to_bytes()) == view

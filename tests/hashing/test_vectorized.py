@@ -150,3 +150,20 @@ def test_key_batch_concat_edge_cases():
     with_empty = vectorized.KeyBatch.concat([vectorized.KeyBatch([]), single])
     assert with_empty.keys == ["only"]
     assert len(with_empty) == 1
+
+
+def test_small_windows_take_the_scalar_path_bit_identically():
+    # hash_batch answers at or below the crossover with the scalar loop and
+    # above it with the numpy column pass; both must produce identical
+    # values, so the crossover is a pure latency knob, never a correctness
+    # one.
+    rows = vectorized.SCALAR_CROSSOVER_ROWS
+    keys = [f"https://example.org/path/{i}".encode() for i in range(rows * 2)]
+    small = vectorized.as_batch(keys[:rows])  # scalar side of the cut
+    large = vectorized.as_batch(keys)  # vectorized side
+    for name in ("xxhash", "bkdr", "crc32", "fnv"):
+        primitive = scalar_primitives.PRIMITIVES[name]
+        np.testing.assert_array_equal(
+            np.asarray(vectorized.hash_batch(primitive, small)),
+            np.asarray(vectorized.hash_batch(primitive, large))[:rows],
+        )

@@ -14,6 +14,7 @@ from repro.errors import CodecError
 from repro.hashing.double_hashing import DoubleHashFamily
 from repro.hashing.registry import build_family
 from repro.service import codec
+from repro.service.shards import ShardedFilterStore
 from repro.workloads.shalla import generate_shalla_like
 
 
@@ -256,3 +257,40 @@ def test_structurally_invalid_payloads_raise_codec_error():
     frame[offset : offset + 2] = (999).to_bytes(2, "big")
     with pytest.raises(CodecError, match="selection index"):
         codec.loads(_recrc(bytes(frame)))
+
+
+class TestZeroCopyDecode:
+    """``loads(..., zero_copy=True)`` must alias, not copy, the frame."""
+
+    def _store(self):
+        positives, negatives, _ = _dataset(11)
+        return ShardedFilterStore.build(
+            positives, num_shards=4, backend="bloom-dh", bits_per_key=10.0
+        ), positives, negatives
+
+    def test_zero_copy_store_answers_identically(self):
+        store, positives, negatives = self._store()
+        frame = codec.dumps(store)
+        aliased = codec.loads(memoryview(frame), zero_copy=True)
+        probe = positives[:200] + negatives[:200]
+        assert aliased.query_many(probe) == store.query_many(probe)
+
+    def test_zero_copy_actually_aliases(self):
+        store, positives, _ = self._store()
+        backing = bytearray(codec.dumps(store))
+        aliased = codec.loads(memoryview(backing), zero_copy=True)
+        assert aliased.query(positives[0])
+        # Zero the filter payload behind the decoder's back: every verdict
+        # flips to negative, proving the BitArrays point into `backing`.
+        header_and_meta = 64  # keep frame header + leading metadata intact
+        for i in range(header_and_meta, len(backing) - 4):
+            backing[i] = 0
+        assert aliased.query_many(positives[:100]) == [False] * 100
+
+    def test_default_decode_still_copies(self):
+        store, positives, _ = self._store()
+        backing = bytearray(codec.dumps(store))
+        copied = codec.loads(bytes(backing))
+        for i in range(64, len(backing) - 4):
+            backing[i] = 0
+        assert copied.query_many(positives[:100]) == [True] * 100
