@@ -15,14 +15,16 @@ import platform
 from typing import Dict, Optional
 
 
-def bench_environment() -> Dict[str, object]:
+def bench_environment(**extra: object) -> Dict[str, object]:
     """The environment fields every benchmark report carries.
 
     Returns plain JSON-serializable values: ``python`` (interpreter
     version), ``platform`` (e.g. ``Linux-6.18``-style), ``machine``
     (architecture), ``cpu_count`` (``os.cpu_count()``, ``None`` when the
     platform cannot say), and ``numpy`` (version string or ``None`` when
-    the optional dependency is absent).
+    the optional dependency is absent).  Keyword arguments are merged in —
+    the scenario benchmark stamps its replay ``seed`` this way so the
+    report records everything needed to reproduce it.
     """
     numpy_version: Optional[str] = None
     try:
@@ -31,10 +33,12 @@ def bench_environment() -> Dict[str, object]:
         numpy_version = numpy.__version__
     except ImportError:  # pragma: no cover - numpy is present in CI
         pass
-    return {
+    environment: Dict[str, object] = {
         "python": platform.python_version(),
         "platform": platform.platform(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
         "numpy": numpy_version,
     }
+    environment.update(extra)
+    return environment

@@ -74,15 +74,31 @@ class ShardFprEstimate:
     cost_weighted_fpr: Optional[float]
     queries: int
     positives: int
+    #: Sampled false positives that hit a *known* negative (a key registered
+    #: via :meth:`FprEstimator.set_known_negatives`, normally the negatives
+    #: the serving generation was built with).  The adaptive backend scorer
+    #: uses the fractions to estimate how much of a shard's error mass a
+    #: negative-aware backend could suppress.
+    known_false_positives: int = 0
+    known_fp_fraction: float = 0.0
+    known_fp_cost_fraction: float = 0.0
 
 
 class _ShardTally:
-    __slots__ = ("sampled", "false_positives", "fp_cost")
+    __slots__ = (
+        "sampled",
+        "false_positives",
+        "fp_cost",
+        "known_false_positives",
+        "known_fp_cost",
+    )
 
     def __init__(self) -> None:
         self.sampled = 0
         self.false_positives = 0
         self.fp_cost = 0.0
+        self.known_false_positives = 0
+        self.known_fp_cost = 0.0
 
 
 class FprEstimator:
@@ -118,6 +134,11 @@ class FprEstimator:
         #: with each generation's build keys; registering a custom oracle via
         #: :meth:`set_oracle` clears it so the service stops overwriting.
         self.auto_oracle = True
+        #: When true (the default), an attached service refreshes the known
+        #: negative set with each rebuild's ``negatives`` argument (and the
+        #: per-key costs with its ``costs``); set false to pin your own.
+        self.auto_known_negatives = True
+        self._known_negatives: frozenset = frozenset()
         self._lock = threading.Lock()
         self._tallies: Dict[int, _ShardTally] = {}
         self._cost_fn: Callable[[Key], float] = lambda key: 1.0
@@ -167,10 +188,28 @@ class FprEstimator:
                 else 1.0
             )
 
+    def set_known_negatives(self, keys: Iterable[Key]) -> None:
+        """Register the known negatives (the keys a rebuild trained against).
+
+        Sampled false positives are additionally checked against this set so
+        :class:`ShardFprEstimate` can split error mass into "known" (the
+        portion a negative-aware backend like HABF or WBF could suppress)
+        and "unseen".  A service with :attr:`auto_known_negatives` set (the
+        default) calls this on every rebuild with that rebuild's negatives.
+        """
+        self._known_negatives = frozenset(keys)
+
     def reset(self) -> None:
         """Drop accumulated tallies (e.g. after a backend migration)."""
         with self._lock:
             self._tallies.clear()
+
+    def reset_shards(self, shards: Iterable[int]) -> None:
+        """Drop the tallies of specific shards (their backend migrated, so
+        accumulated evidence describes the *previous* filter)."""
+        with self._lock:
+            for shard in shards:
+                self._tallies.pop(int(shard), None)
 
     # ------------------------------------------------------------------ #
     # Observation path
@@ -207,6 +246,7 @@ class FprEstimator:
             skip = int(math.log(1.0 - rng_random()) * inv_log_miss)
         else:
             skip = 0
+        known = self._known_negatives
         pending: Dict[int, List[float]] = {}
         for index in compress(range(len(verdicts)), verdicts):
             if skip > 0:
@@ -218,22 +258,28 @@ class FprEstimator:
             shard = shards[index] if shards is not None else shard_of(key)
             entry = pending.get(shard)
             if entry is None:
-                entry = pending[shard] = [0, 0, 0.0]
+                entry = pending[shard] = [0, 0, 0.0, 0, 0.0]
             entry[0] += 1
             if not oracle(key):
                 entry[1] += 1
-                entry[2] += float(cost_fn(key))
+                cost = float(cost_fn(key))
+                entry[2] += cost
+                if key in known:
+                    entry[3] += 1
+                    entry[4] += cost
         if not pending:
             return
         with self._lock:
-            for shard, (sampled, false_positives, fp_cost) in pending.items():
+            for shard, entry in pending.items():
                 shard = int(shard)  # ndarray-sourced indexes arrive as int64
                 tally = self._tallies.get(shard)
                 if tally is None:
                     tally = self._tallies[shard] = _ShardTally()
-                tally.sampled += int(sampled)
-                tally.false_positives += int(false_positives)
-                tally.fp_cost += fp_cost
+                tally.sampled += int(entry[0])
+                tally.false_positives += int(entry[1])
+                tally.fp_cost += entry[2]
+                tally.known_false_positives += int(entry[3])
+                tally.known_fp_cost += entry[4]
 
     def observe(self, key: Key, verdict: bool, shard: int) -> None:
         """Scalar-path variant of :meth:`observe_batch` (shard precomputed)."""
@@ -246,6 +292,7 @@ class FprEstimator:
 
     def _record(self, key: Key, shard: int, is_member: bool) -> None:
         cost = float(self._cost_fn(key)) if not is_member else 0.0
+        known = not is_member and key in self._known_negatives
         with self._lock:
             tally = self._tallies.get(shard)
             if tally is None:
@@ -254,6 +301,9 @@ class FprEstimator:
             if not is_member:
                 tally.false_positives += 1
                 tally.fp_cost += cost
+                if known:
+                    tally.known_false_positives += 1
+                    tally.known_fp_cost += cost
 
     # ------------------------------------------------------------------ #
     # Estimates
@@ -267,6 +317,8 @@ class FprEstimator:
             sampled = tally.sampled if tally else 0
             false_positives = tally.false_positives if tally else 0
             fp_cost = tally.fp_cost if tally else 0.0
+            known_fp = tally.known_false_positives if tally else 0
+            known_fp_cost = tally.known_fp_cost if tally else 0.0
         if sampled == 0:
             return ShardFprEstimate(
                 shard=shard,
@@ -299,6 +351,11 @@ class FprEstimator:
             cost_weighted_fpr=cost_weighted,
             queries=queries,
             positives=positives,
+            known_false_positives=known_fp,
+            known_fp_fraction=(
+                known_fp / false_positives if false_positives else 0.0
+            ),
+            known_fp_cost_fraction=(known_fp_cost / fp_cost if fp_cost > 0 else 0.0),
         )
 
     def estimates(self, shard_stats) -> List[ShardFprEstimate]:
@@ -316,6 +373,8 @@ class FprEstimator:
             sampled = sum(t.sampled for t in self._tallies.values())
             false_positives = sum(t.false_positives for t in self._tallies.values())
             fp_cost = sum(t.fp_cost for t in self._tallies.values())
+            known_fp = sum(t.known_false_positives for t in self._tallies.values())
+            known_fp_cost = sum(t.known_fp_cost for t in self._tallies.values())
         if sampled == 0:
             return None
         fp_fraction = false_positives / sampled
@@ -336,4 +395,9 @@ class FprEstimator:
             cost_weighted_fpr=cost_weighted,
             queries=queries,
             positives=positives,
+            known_false_positives=known_fp,
+            known_fp_fraction=(
+                known_fp / false_positives if false_positives else 0.0
+            ),
+            known_fp_cost_fraction=(known_fp_cost / fp_cost if fp_cost > 0 else 0.0),
         )

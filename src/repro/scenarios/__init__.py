@@ -1,0 +1,39 @@
+"""Streaming scenario harness and the built-in workload library.
+
+* :mod:`repro.scenarios.harness` — phased replay driver: rebuilds at phase
+  boundaries, replays query streams through the asyncio micro-batcher with
+  concurrent clients, and scores the run against ground truth (the harness
+  knows the positive set), reporting FPR-cost and throughput.
+* :mod:`repro.scenarios.library` — four seeded scenario builders covering
+  adversarial floods, cost shifts, Zipf drift, and key churn.
+"""
+
+from repro.scenarios.harness import (
+    PhaseReport,
+    Scenario,
+    ScenarioPhase,
+    ScenarioReport,
+    replay_scenario,
+    run_scenario,
+)
+from repro.scenarios.library import (
+    adversarial_negatives_scenario,
+    builtin_scenarios,
+    cost_shift_scenario,
+    key_churn_scenario,
+    zipf_drift_scenario,
+)
+
+__all__ = [
+    "PhaseReport",
+    "Scenario",
+    "ScenarioPhase",
+    "ScenarioReport",
+    "replay_scenario",
+    "run_scenario",
+    "adversarial_negatives_scenario",
+    "builtin_scenarios",
+    "cost_shift_scenario",
+    "key_churn_scenario",
+    "zipf_drift_scenario",
+]

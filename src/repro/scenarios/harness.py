@@ -1,0 +1,270 @@
+"""Streaming scenario harness: replay phased workloads, account ground truth.
+
+A *scenario* is a seeded, phased workload: each phase carries the positive
+key set a rebuild should load, the known negatives (and costs) that rebuild
+trains against, and the query stream to replay.  The harness drives any
+service that duck-types the serving surface — a bare
+:class:`~repro.service.server.MembershipService`, or a
+:class:`~repro.service.multiproc.ReplicaPool` — through the asyncio
+front-end's :class:`~repro.service.aserve.AdaptiveMicroBatcher` (concurrent
+clients, coalesced windows: the paths production traffic takes), rebuilds at
+every phase boundary, and scores the replay against ground truth it holds
+itself: the harness knows the positive set, so every verdict is classified
+exactly rather than estimated.
+
+The headline number is **FPR-cost** — false-positive cost over total
+negative-query cost, the live counterpart of the paper's cost-weighted
+metric (Eq. 1) — paired with replay throughput, so a backend cannot buy
+accuracy with unusable slowness without it showing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hashing.base import Key
+from repro.service.aserve import AdaptiveMicroBatcher
+
+__all__ = [
+    "PhaseReport",
+    "Scenario",
+    "ScenarioPhase",
+    "ScenarioReport",
+    "replay_scenario",
+    "run_scenario",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioPhase:
+    """One phase of a streaming scenario.
+
+    Attributes:
+        name: Phase label (shown in reports).
+        keys: Positive key set the phase-boundary rebuild loads.
+        negatives: Known negatives fed to that rebuild (what cost-aware
+            backends train against, and what the estimator can classify as
+            "known" error mass).
+        costs: Per-key miss costs; keys absent from the mapping cost 1.0.
+        queries: The query stream replayed against the service.
+    """
+
+    name: str
+    keys: Tuple[Key, ...]
+    negatives: Tuple[Key, ...] = ()
+    costs: Mapping[Key, float] = field(default_factory=dict)
+    queries: Tuple[Key, ...] = ()
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, seeded sequence of phases."""
+
+    name: str
+    seed: int
+    phases: Tuple[ScenarioPhase, ...]
+    description: str = ""
+
+
+@dataclass
+class PhaseReport:
+    """Ground-truth accounting for one replayed phase."""
+
+    name: str
+    queries: int = 0
+    negative_queries: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+    fp_cost: float = 0.0
+    negative_cost: float = 0.0
+    fpr_cost: float = 0.0
+    elapsed_seconds: float = 0.0
+    throughput_qps: float = 0.0
+    generations: List[int] = field(default_factory=list)
+    migrated: List[int] = field(default_factory=list)
+
+
+@dataclass
+class ScenarioReport:
+    """Scenario-level rollup of the per-phase accounting."""
+
+    scenario: str
+    seed: int
+    fpr_cost: float = 0.0
+    throughput_qps: float = 0.0
+    false_positives: int = 0
+    false_negatives: int = 0
+    fp_cost: float = 0.0
+    negative_cost: float = 0.0
+    migrations: int = 0
+    shard_backends: List[str] = field(default_factory=list)
+    phases: List[PhaseReport] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON rendering for ``BENCH_adaptive.json``."""
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "fpr_cost": self.fpr_cost,
+            "throughput_qps": round(self.throughput_qps, 1),
+            "false_positives": self.false_positives,
+            "false_negatives": self.false_negatives,
+            "fp_cost": round(self.fp_cost, 3),
+            "negative_cost": round(self.negative_cost, 3),
+            "migrations": self.migrations,
+            "shard_backends": list(self.shard_backends),
+            "phases": [
+                {
+                    "name": phase.name,
+                    "queries": phase.queries,
+                    "false_positives": phase.false_positives,
+                    "false_negatives": phase.false_negatives,
+                    "fpr_cost": phase.fpr_cost,
+                    "throughput_qps": round(phase.throughput_qps, 1),
+                    "generations": phase.generations,
+                    "migrated": phase.migrated,
+                }
+                for phase in self.phases
+            ],
+        }
+
+
+async def _replay_stream(
+    batcher: AdaptiveMicroBatcher,
+    stream: Sequence[Key],
+    clients: int,
+    chunk: int,
+) -> List[Tuple[Key, bool, int]]:
+    """Replay ``stream`` through ``clients`` concurrent submitters.
+
+    Each client owns an interleaved slice of the stream and submits it in
+    ``chunk``-sized requests (smaller than the batcher's window, so
+    concurrent clients genuinely coalesce).  Returns
+    ``(key, verdict, generation)`` per query.
+    """
+
+    async def client(slice_keys: List[Key]) -> List[Tuple[Key, bool, int]]:
+        answered: List[Tuple[Key, bool, int]] = []
+        for offset in range(0, len(slice_keys), chunk):
+            window = slice_keys[offset : offset + chunk]
+            verdicts, generation = await batcher.query_many_with_generation(window)
+            answered.extend(
+                (key, bool(verdict), generation)
+                for key, verdict in zip(window, verdicts)
+            )
+        return answered
+
+    slices = [list(stream[start::clients]) for start in range(clients)]
+    results = await asyncio.gather(*(client(s) for s in slices if s))
+    return [entry for per_client in results for entry in per_client]
+
+
+async def replay_scenario(
+    service,
+    scenario: Scenario,
+    max_batch: int = 256,
+    max_wait_ms: float = 2.0,
+    clients: int = 6,
+    chunk: int = 48,
+) -> ScenarioReport:
+    """Replay every phase of ``scenario`` against ``service``.
+
+    At each phase boundary the service rebuilds from the phase's keys,
+    negatives and costs (the first phase is the initial load) — with an
+    adaptive policy installed this is exactly where migrations happen, fed
+    by the evidence the *previous* phase's traffic accumulated.  The phase's
+    negatives are passed as ``changed_keys`` so every backend (adaptive or
+    not) gets its shards retrained on the new negative set — scenario
+    comparisons stay apples-to-apples.
+
+    Rebuilds run on an executor thread while the event loop stays free,
+    mirroring production hot-rebuild deployments.
+    """
+    if not scenario.phases:
+        raise ConfigurationError(f"scenario {scenario.name!r} has no phases")
+    loop = asyncio.get_running_loop()
+    report = ScenarioReport(scenario=scenario.name, seed=scenario.seed)
+    for index, phase in enumerate(scenario.phases):
+        costs = dict(phase.costs)
+        await loop.run_in_executor(
+            None,
+            lambda p=phase, c=costs, first=(index == 0): service.rebuild(
+                list(p.keys),
+                negatives=list(p.negatives),
+                costs=c,
+                changed_keys=None if first else list(p.negatives),
+            ),
+        )
+        stats = service.stats()
+        migrated = (
+            list(stats.adaptive.last_migrated) if stats.adaptive is not None else []
+        )
+        positive_set = frozenset(phase.keys)
+        phase_report = PhaseReport(name=phase.name, migrated=migrated)
+        start = time.perf_counter()
+        async with AdaptiveMicroBatcher(
+            service, max_batch=max_batch, max_wait_ms=max_wait_ms
+        ) as batcher:
+            answered = await _replay_stream(batcher, phase.queries, clients, chunk)
+        phase_report.elapsed_seconds = time.perf_counter() - start
+        generations = set()
+        for key, verdict, generation in answered:
+            generations.add(generation)
+            phase_report.queries += 1
+            if key in positive_set:
+                if not verdict:
+                    phase_report.false_negatives += 1
+                continue
+            cost = float(costs.get(key, 1.0))
+            phase_report.negative_queries += 1
+            phase_report.negative_cost += cost
+            if verdict:
+                phase_report.false_positives += 1
+                phase_report.fp_cost += cost
+        phase_report.generations = sorted(generations)
+        if phase_report.negative_cost > 0:
+            phase_report.fpr_cost = phase_report.fp_cost / phase_report.negative_cost
+        if phase_report.elapsed_seconds > 0:
+            phase_report.throughput_qps = (
+                phase_report.queries / phase_report.elapsed_seconds
+            )
+        report.phases.append(phase_report)
+        report.false_positives += phase_report.false_positives
+        report.false_negatives += phase_report.false_negatives
+        report.fp_cost += phase_report.fp_cost
+        report.negative_cost += phase_report.negative_cost
+        report.migrations += len(migrated)
+    if report.negative_cost > 0:
+        report.fpr_cost = report.fp_cost / report.negative_cost
+    total_elapsed = sum(phase.elapsed_seconds for phase in report.phases)
+    total_queries = sum(phase.queries for phase in report.phases)
+    if total_elapsed > 0:
+        report.throughput_qps = total_queries / total_elapsed
+    final = service.stats()
+    report.shard_backends = [stats.backend for stats in final.shards]
+    return report
+
+
+def run_scenario(
+    service,
+    scenario: Scenario,
+    max_batch: int = 256,
+    max_wait_ms: float = 2.0,
+    clients: int = 6,
+    chunk: int = 48,
+) -> ScenarioReport:
+    """Synchronous wrapper around :func:`replay_scenario`."""
+    return asyncio.run(
+        replay_scenario(
+            service,
+            scenario,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            clients=clients,
+            chunk=chunk,
+        )
+    )

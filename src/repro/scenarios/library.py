@@ -1,0 +1,333 @@
+"""The built-in scenario library: four seeded streaming workloads.
+
+Each builder returns a :class:`~repro.scenarios.harness.Scenario` whose
+phases exercise a different way real traffic shifts under a membership
+service — the situations workload-adaptive backend selection exists for:
+
+* :func:`adversarial_negatives_scenario` — a high-cost always-miss flood
+  concentrated on half the shard space, costly unseen misses elsewhere.
+* :func:`cost_shift_scenario` — costly flood traffic *spreads* to a second
+  shard group mid-run, so the right per-shard backend changes under foot.
+* :func:`zipf_drift_scenario` — a Zipf-headed known-negative working set
+  whose hot head rotates each phase.
+* :func:`key_churn_scenario` — the positive set churns; retired keys keep
+  getting queried and become expensive known negatives.
+
+Shard-locality is deliberate: floods and known-negative working sets are
+minted *router-targeted* (only keys routing into a chosen shard subset),
+the streaming analogue of a tenant or keyspace region misbehaving.  That
+is what makes per-shard backend choice matter — one global backend cannot
+be right for both halves of the fleet at once.  Builders take the same
+``num_shards``/``router_seed`` the service under test uses; everything is
+derived from the scenario ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hashing.base import Key, mix64
+from repro.scenarios.harness import Scenario, ScenarioPhase
+from repro.service.shards import ShardRouter
+from repro.workloads.drift import adversarial_flood, churn_keys, zipf_query_stream
+from repro.workloads.ycsb import generate_ycsb_like
+
+__all__ = [
+    "adversarial_negatives_scenario",
+    "builtin_scenarios",
+    "cost_shift_scenario",
+    "key_churn_scenario",
+    "zipf_drift_scenario",
+]
+
+
+def _targeted_keys(
+    count: int,
+    shards: Sequence[int],
+    router: ShardRouter,
+    seed: int,
+    prefix: str,
+) -> List[str]:
+    """Mint ``count`` keys that all route into the ``shards`` subset."""
+    want = frozenset(shards)
+    if not want:
+        raise ConfigurationError("targeted key minting needs at least one shard")
+    out: List[str] = []
+    salt = 0
+    # Oversample by the routing odds so one pass usually suffices.
+    chunk = max(64, (count * router.num_shards) // len(want) + count)
+    while len(out) < count:
+        for key in adversarial_flood(chunk, seed=seed + 7919 * salt, prefix=prefix):
+            if router.shard_of(key) in want:
+                out.append(key)
+                if len(out) == count:
+                    break
+        salt += 1
+    return out
+
+
+def _mixed_stream(rng: random.Random, *parts: Sequence[Key]) -> Tuple[Key, ...]:
+    """Interleave query sub-streams into one shuffled replay order."""
+    merged: List[Key] = [key for part in parts for key in part]
+    rng.shuffle(merged)
+    return tuple(merged)
+
+
+def _positive_draws(
+    positives: Sequence[Key], count: int, rng: random.Random
+) -> List[Key]:
+    """Mildly skewed positive traffic (hits exist in every real stream)."""
+    return zipf_query_stream(positives, count, skewness=0.7, rng=rng)
+
+
+def adversarial_negatives_scenario(
+    seed: int = 1,
+    num_shards: int = 8,
+    router_seed: int = 0,
+    scale: float = 1.0,
+) -> Scenario:
+    """Known high-cost flood on half the shards, costly unseen misses elsewhere.
+
+    The flood keys are known (fed to every rebuild as negatives, cost 40x),
+    so a negative-aware backend can suppress them outright — but only the
+    flooded shards benefit from paying for that.  The clean half sees
+    *fresh* never-repeating misses (scans — feeding them back to a rebuild
+    is useless) at cost 25x, where only a low plain FPR helps.  No single
+    backend is right for both halves at once.
+    """
+    router = ShardRouter(num_shards, seed=router_seed)
+    rng = random.Random(mix64(seed * 0x9E37_79B9 + 0xADBE))
+    positives = tuple(
+        generate_ycsb_like(int(1600 * scale), 1, seed=seed).positives
+    )
+    flooded = range(num_shards // 2)
+    clean = range(num_shards // 2, num_shards)
+    # Large enough that an oblivious filter *will* leak a few flood keys
+    # per shard (leaks ~ set size x FPR); the zipf draws then hammer them.
+    flood = _targeted_keys(int(2400 * scale), flooded, router, seed, "atk")
+    phases = []
+    for phase_index in range(3):
+        unseen = _targeted_keys(
+            int(2400 * scale), clean, router, seed + 100 + phase_index, "miss"
+        )
+        costs: Dict[Key, float] = {key: 40.0 for key in flood}
+        costs.update({key: 25.0 for key in unseen})
+        queries = _mixed_stream(
+            rng,
+            zipf_query_stream(flood, int(9000 * scale), skewness=0.4, rng=rng),
+            unseen,
+            _positive_draws(positives, int(1500 * scale), rng),
+        )
+        phases.append(
+            ScenarioPhase(
+                name=f"flood-{phase_index}",
+                keys=positives,
+                negatives=tuple(flood),
+                costs=costs,
+                queries=queries,
+            )
+        )
+    return Scenario(
+        name="adversarial_negatives",
+        seed=seed,
+        phases=tuple(phases),
+        description="known high-cost flood on half the shards, costly "
+        "unseen misses on the other half",
+    )
+
+
+def cost_shift_scenario(
+    seed: int = 1,
+    num_shards: int = 8,
+    router_seed: int = 0,
+    scale: float = 1.0,
+) -> Scenario:
+    """Costly flood traffic spreads to a second shard group mid-run.
+
+    Group A (first half of the shards) is hammered with known cost-32
+    flood traffic from the start.  Group B's shards begin as a scan tenant
+    — fresh unseen misses at cost 25 — and in phases 2-3 that tenant is
+    replaced by a second known flood.  An adaptive service should follow
+    the cost mass: the phase-1 boundary migrates group A's shards off the
+    evidence phase 0 produced, and the phase-3 boundary chases the flood
+    into group B.
+    """
+    router = ShardRouter(num_shards, seed=router_seed)
+    rng = random.Random(mix64(seed * 0x9E37_79B9 + 0xC057))
+    positives = tuple(
+        generate_ycsb_like(int(1600 * scale), 1, seed=seed + 1).positives
+    )
+    half_a = range(num_shards // 2)
+    half_b = range(num_shards // 2, num_shards)
+    group_a = _targeted_keys(int(1600 * scale), half_a, router, seed + 11, "neg-a")
+    group_b = _targeted_keys(int(1600 * scale), half_b, router, seed + 13, "neg-b")
+    known = tuple(group_a + group_b)
+    phases = []
+    for phase_index in range(4):
+        spread = phase_index >= 2
+        costs: Dict[Key, float] = {key: 32.0 for key in group_a}
+        costs.update({key: 32.0 if spread else 1.0 for key in group_b})
+        parts = [
+            zipf_query_stream(group_a, int(6600 * scale), skewness=0.4, rng=rng),
+            _positive_draws(positives, int(1600 * scale), rng),
+        ]
+        if spread:
+            parts.append(
+                zipf_query_stream(group_b, int(6600 * scale), skewness=0.4, rng=rng)
+            )
+        else:
+            unseen = _targeted_keys(
+                int(2200 * scale), half_b, router, seed + 200 + phase_index, "miss"
+            )
+            costs.update({key: 25.0 for key in unseen})
+            parts.append(unseen)
+        phases.append(
+            ScenarioPhase(
+                name=f"{'spread' if spread else 'single'}-{phase_index}",
+                keys=positives,
+                negatives=known,
+                costs=costs,
+                queries=_mixed_stream(rng, *parts),
+            )
+        )
+    return Scenario(
+        name="cost_shift",
+        seed=seed,
+        phases=tuple(phases),
+        description="known cost-32 flood on group A throughout; a second "
+        "flood replaces group B's scan tenant in phases 2-3",
+    )
+
+
+def zipf_drift_scenario(
+    seed: int = 1,
+    num_shards: int = 8,
+    router_seed: int = 0,
+    scale: float = 1.0,
+) -> Scenario:
+    """Zipf-headed known-negative traffic whose hot set rotates each phase.
+
+    The known working set lives on half the shard space (a hot keyspace
+    region); each phase rotates which of its keys carry the head of the
+    Zipf distribution.  The other half of the shards sees only fresh unseen
+    misses at cost 25x — drift changes *which keys* are hot but not *where*
+    the error cost concentrates, so per-shard choices should stay stable
+    while the estimator keeps re-confirming them.
+    """
+    router = ShardRouter(num_shards, seed=router_seed)
+    rng = random.Random(mix64(seed * 0x9E37_79B9 + 0xD21F))
+    positives = tuple(
+        generate_ycsb_like(int(1600 * scale), 1, seed=seed + 2).positives
+    )
+    hot_half = range(num_shards // 2)
+    cold_half = range(num_shards // 2, num_shards)
+    working = _targeted_keys(int(1200 * scale), hot_half, router, seed + 17, "neg")
+    phases = []
+    for phase_index in range(3):
+        unseen = _targeted_keys(
+            int(2200 * scale), cold_half, router, seed + 300 + phase_index, "miss"
+        )
+        costs: Dict[Key, float] = {key: 12.0 for key in working}
+        costs.update({key: 25.0 for key in unseen})
+        queries = _mixed_stream(
+            rng,
+            zipf_query_stream(
+                working,
+                int(6000 * scale),
+                skewness=0.8,
+                rng=rng,
+                rotate=phase_index * (len(working) // 3),
+            ),
+            unseen,
+            _positive_draws(positives, int(1600 * scale), rng),
+        )
+        phases.append(
+            ScenarioPhase(
+                name=f"drift-{phase_index}",
+                keys=positives,
+                negatives=tuple(working),
+                costs=costs,
+                queries=queries,
+            )
+        )
+    return Scenario(
+        name="zipf_drift",
+        seed=seed,
+        phases=tuple(phases),
+        description="Zipf hot set over known negatives rotates each phase",
+    )
+
+
+def key_churn_scenario(
+    seed: int = 1,
+    num_shards: int = 8,
+    router_seed: int = 0,
+    scale: float = 1.0,
+) -> Scenario:
+    """The positive set churns; retired keys keep arriving as queries.
+
+    Phase 0 has no known negatives at all.  Each later phase retires 30% of
+    the keys and mints replacements; clients keep querying the retired keys
+    (stale caches, dangling references), which makes them expensive known
+    negatives for the next rebuild.  Churn is router-uniform — this is the
+    honest scenario with no shard-locality for an adaptive policy to
+    exploit.
+    """
+    rng = random.Random(mix64(seed * 0x9E37_79B9 + 0xC4A2))
+    keys = list(generate_ycsb_like(int(1600 * scale), 1, seed=seed + 3).positives)
+    retired_pool: List[Key] = []
+    phases = []
+    for phase_index in range(3):
+        if phase_index > 0:
+            survivors, removed, added = churn_keys(
+                keys, 0.3, rng=rng, seed=seed + phase_index, tag=f"churn{phase_index}"
+            )
+            keys = survivors + added
+            retired_pool.extend(removed)
+        costs: Dict[Key, float] = {key: 20.0 for key in retired_pool}
+        unseen = adversarial_flood(
+            int(2000 * scale), seed=seed + 400 + phase_index, prefix="miss"
+        )
+        parts = [
+            _positive_draws(keys, int(2200 * scale), rng),
+            unseen,
+        ]
+        if retired_pool:
+            parts.append(
+                zipf_query_stream(
+                    retired_pool, int(1800 * scale), skewness=0.9, rng=rng
+                )
+            )
+        phases.append(
+            ScenarioPhase(
+                name=f"churn-{phase_index}",
+                keys=tuple(keys),
+                negatives=tuple(retired_pool),
+                costs=costs,
+                queries=_mixed_stream(rng, *parts),
+            )
+        )
+    return Scenario(
+        name="key_churn",
+        seed=seed,
+        phases=tuple(phases),
+        description="30% of the positive set churns each phase; retired keys "
+        "keep getting queried",
+    )
+
+
+def builtin_scenarios(
+    seed: int = 1,
+    num_shards: int = 8,
+    router_seed: int = 0,
+    scale: float = 1.0,
+) -> List[Scenario]:
+    """All four built-in scenarios with a shared seed and shard geometry."""
+    return [
+        adversarial_negatives_scenario(seed, num_shards, router_seed, scale),
+        cost_shift_scenario(seed, num_shards, router_seed, scale),
+        zipf_drift_scenario(seed, num_shards, router_seed, scale),
+        key_churn_scenario(seed, num_shards, router_seed, scale),
+    ]

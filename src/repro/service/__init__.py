@@ -35,8 +35,21 @@ blacklist-gateway / LSM read-path setting the paper motivates:
   (since the telemetry layer, views over :mod:`repro.obs` registry
   instruments; ``GET /metrics`` and the ``METRICS`` line command expose the
   same numbers in Prometheus text format).
+* :mod:`repro.service.adaptive` — workload-adaptive backend selection:
+  :class:`BackendScorer` scores every candidate backend per shard from the
+  live telemetry (observed/cost-weighted FPR, traffic, memory) and
+  :class:`AdaptivePolicy` migrates losing shards to the winner as part of
+  the ordinary atomic rebuild swap, producing mixed-backend stores the
+  codec persists unchanged.
 """
 
+from repro.service.adaptive import (
+    AdaptivePolicy,
+    BackendCandidate,
+    BackendScorer,
+    MigrationPlan,
+    ShardScore,
+)
 from repro.service.aserve import AdaptiveMicroBatcher, AsyncMembershipServer
 from repro.service.backends import (
     available_backends,
@@ -57,6 +70,7 @@ from repro.service.multiproc import ReplicaPool, SharedFrameArena
 from repro.service.server import BatchAnswer, MembershipService, Snapshot
 from repro.service.shards import EmptyShardFilter, ShardRouter, ShardedFilterStore
 from repro.service.stats import (
+    AdaptiveStats,
     LatencyWindow,
     MicroBatchStats,
     ServiceStats,
@@ -67,6 +81,12 @@ __all__ = [
     "MembershipService",
     "Snapshot",
     "BatchAnswer",
+    "AdaptivePolicy",
+    "AdaptiveStats",
+    "BackendCandidate",
+    "BackendScorer",
+    "MigrationPlan",
+    "ShardScore",
     "AdaptiveMicroBatcher",
     "AsyncMembershipServer",
     "ReplicaPool",

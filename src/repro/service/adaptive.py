@@ -1,0 +1,476 @@
+"""Workload-adaptive backend selection: score backends per shard, migrate losers.
+
+The paper's premise is that filter configuration should follow the observed
+cost and distribution of keys, yet a service that pins one backend statically
+for every shard re-decides nothing as traffic drifts.  This module closes
+that loop with the telemetry the serving layer already collects:
+
+* :class:`BackendScorer` reads a shard's live evidence — the
+  :class:`~repro.obs.fpr_estimator.FprEstimator`'s observed and
+  cost-weighted FPR, the shard's traffic counters, and its in-memory
+  footprint — and computes a weighted composite score for each candidate
+  backend *without building anything*: the incumbent is scored from its
+  live numbers, challengers from analytic models of the same quantities
+  (candidate sizing comes from each backend's policy parameters).  The
+  composite is a weighted sum over the evidence layers that are actually
+  available, normalised by the weight of those layers — the
+  multi-criteria idiom where missing evidence shrinks the denominator
+  instead of silently counting as zero.
+
+* :class:`AdaptivePolicy` turns per-shard scores into a
+  :class:`MigrationPlan`: a shard migrates only when a challenger beats the
+  incumbent by at least ``hysteresis`` *and* the estimator has sampled
+  enough of that shard's traffic to trust the live numbers.  The plan's
+  ``assignments`` feed straight into
+  :meth:`~repro.service.shards.ShardedFilterStore.rebuild_from`'s
+  ``shard_backends``, so migrations ride the existing atomic
+  generation-roll (single-process and :class:`~repro.service.multiproc.ReplicaPool`
+  alike) and mixed-backend stores persist through the unchanged frame-v2
+  codec.
+
+What makes a challenger winnable without building it?  The estimator splits
+a shard's error mass into *known* false positives (keys registered as the
+rebuild's negatives) and unseen ones.  A negative-aware backend (HABF tunes
+hash families against exactly those keys) can suppress much of the known
+mass but none of the unseen mass; an oblivious backend (standard Bloom,
+xor) suppresses neither but may spend its bit budget more efficiently.
+:data:`KNOWN_NEGATIVE_SUPPRESSION` encodes those priors per registered
+backend, and the cost layer multiplies a challenger's analytic FPR by the
+fraction of cost mass it is expected to keep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.fpr_estimator import ShardFprEstimate
+from repro.service.stats import ShardStats
+from repro.theory.bloom_math import min_fpr_for_bits_per_key
+
+__all__ = [
+    "KNOWN_NEGATIVE_SUPPRESSION",
+    "AdaptivePolicy",
+    "BackendCandidate",
+    "BackendScorer",
+    "MigrationPlan",
+    "ShardScore",
+    "analytic_bits_per_key",
+    "analytic_fpr",
+]
+
+#: Fraction of *known-negative* false-positive cost each backend is expected
+#: to suppress when rebuilt with those negatives in hand.  HABF/f-HABF
+#: re-pick hash families specifically to exclude the registered negatives
+#: (the paper's core mechanism); WBF reassigns its weighted budget; the
+#: learned baselines generalise from them less reliably; standard Bloom and
+#: xor ignore negatives entirely.  Unlisted (custom-registered) backends
+#: default to 0.0 — no claimed suppression — which only ever under-sells a
+#: challenger, never mis-migrates toward it.
+KNOWN_NEGATIVE_SUPPRESSION: Dict[str, float] = {
+    "habf": 0.95,
+    "f-habf": 0.95,
+    "wbf": 0.85,
+    "slbf": 0.6,
+    "lbf": 0.5,
+    "adabf": 0.5,
+    "bloom": 0.0,
+    "bloom-dh": 0.0,
+    "xor": 0.0,
+}
+
+#: Default evidence-layer weights: cost-weighted error dominates (it is the
+#: paper's objective, Eq. 1/20), raw FPR second, memory footprint a
+#: tie-breaker.
+DEFAULT_WEIGHTS: Dict[str, float] = {"fpr": 0.35, "cost": 0.45, "memory": 0.20}
+
+
+def analytic_fpr(name: str, bits_per_key: float, num_keys: int) -> float:
+    """A backend's model FPR at ``bits_per_key`` over ``num_keys`` keys.
+
+    The xor filter's rate is set by its fingerprint width (``2^-f`` with
+    ``f`` derived from the bit budget); every other registered backend is
+    Bloom-shaped at its budget, so the optimal-k Bloom bound is the common
+    prior — including for HABF, whose *advantage* over that bound comes
+    from negatives and costs, which the scorer's cost layer models
+    separately.  Unknown (custom) names fall back to the Bloom bound too.
+
+    >>> round(analytic_fpr("bloom", 10.0, 1000), 5)
+    0.00819
+    >>> round(analytic_fpr("xor", 10.0, 1000), 5)
+    0.00391
+    """
+    if num_keys < 1:
+        return 0.0
+    if name == "xor":
+        from repro.baselines.xor_filter import fingerprint_bits_for_budget
+
+        return 2.0 ** -fingerprint_bits_for_budget(bits_per_key, num_keys)
+    return min_fpr_for_bits_per_key(bits_per_key)
+
+
+def analytic_bits_per_key(name: str, bits_per_key: float, num_keys: int) -> float:
+    """A backend's expected in-memory bits per key at a nominal budget.
+
+    Most backends consume the budget they are asked for; the xor filter's
+    peeling construction over-allocates ~23% slots plus a constant, so its
+    footprint model follows its capacity formula rather than the nominal
+    budget.
+    """
+    if name == "xor" and num_keys >= 1:
+        from repro.baselines.xor_filter import fingerprint_bits_for_budget
+
+        bits = fingerprint_bits_for_budget(bits_per_key, num_keys)
+        return bits * (1.23 + 32.0 / num_keys)
+    return float(bits_per_key)
+
+
+@dataclass(frozen=True)
+class BackendCandidate:
+    """One backend the policy may migrate shards to.
+
+    ``kwargs`` are passed to the registry when the candidate wins a shard
+    (``resolve_backend(name, **kwargs)``); ``bits_per_key`` inside them
+    also parameterises the analytic scoring models (default 10.0, the
+    registry's own default budget).
+    """
+
+    name: str
+    kwargs: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def bits_per_key(self) -> float:
+        return float(self.kwargs.get("bits_per_key", 10.0))
+
+
+@dataclass
+class ShardScore:
+    """Scoring outcome for one shard.
+
+    Attributes:
+        shard: Shard index.
+        incumbent: Backend currently serving the shard.
+        winner: Highest-scoring backend (ties prefer the incumbent).
+        margin: ``scores[winner] - scores[incumbent]`` (0.0 when the
+            incumbent wins).
+        live: Whether the incumbent was scored from live estimator
+            evidence (enough samples) rather than its analytic model.
+        scores: Composite score per backend name, higher is better.
+    """
+
+    shard: int
+    incumbent: str
+    winner: str
+    margin: float
+    live: bool
+    scores: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class MigrationPlan:
+    """What an evaluation decided, in the shape ``rebuild_from`` consumes.
+
+    Attributes:
+        assignments: shard → ``(backend_name, kwargs)`` for every shard
+            whose target backend is one of the policy's candidates —
+            passed as ``shard_backends`` so migrated shards *stay*
+            migrated on later rebuilds.  Shards serving on a backend
+            outside the candidate set (and not migrating) are omitted and
+            keep the service-level default.
+        migrations: Shards whose backend changes in this plan.
+        scores: Per-shard scoring detail, in shard order.
+    """
+
+    assignments: Dict[int, Tuple[str, dict]] = field(default_factory=dict)
+    migrations: List[int] = field(default_factory=list)
+    scores: List[ShardScore] = field(default_factory=list)
+
+
+class BackendScorer:
+    """Scores candidate backends for one shard from available evidence.
+
+    Three layers, each *lower-is-better* in raw form and normalised to
+    ``[0, 1]`` across the candidates before weighting:
+
+    * ``fpr`` — always available.  The incumbent contributes its live
+      ``observed_fpr`` once ``min_sampled`` positive verdicts were
+      shadow-checked; before that (and for every challenger) the analytic
+      model of :func:`analytic_fpr` stands in.  With live evidence a
+      challenger's analytic rate is scaled by the *count* of error mass it
+      would keep (``1 − suppression × known_fp_fraction``) — a
+      negative-aware backend's observed FPR on this traffic mix would be
+      lower than its Bloom-shaped bound exactly when the shard's false
+      positives concentrate on known negatives.
+    * ``cost`` — only once live evidence exists.  The incumbent
+      contributes its live ``cost_weighted_fpr``; a challenger contributes
+      its analytic FPR scaled by the error-cost mass it would *keep*:
+      ``analytic × (1 − suppression × known_fp_cost_fraction)``.
+    * ``memory`` — always available.  The incumbent contributes its actual
+      ``size_in_bits / num_keys``; challengers their
+      :func:`analytic_bits_per_key`.
+
+    The composite is ``Σ weight·score / Σ weight`` over the layers that
+    produced values, so an unavailable layer redistributes its weight
+    instead of dragging every candidate toward zero.
+
+    >>> from repro.service.stats import ShardStats
+    >>> scorer = BackendScorer(min_sampled=100)
+    >>> stats = ShardStats(shard=0, num_keys=1000, queries=5000,
+    ...                    positives=2600, size_in_bits=10000, backend="bloom")
+    >>> candidates = [BackendCandidate("bloom"), BackendCandidate("xor")]
+    >>> scores = scorer.score_shard(stats, None, candidates)
+    >>> scores["xor"] > scores["bloom"]  # analytic only: xor wins on FPR
+    True
+    """
+
+    def __init__(
+        self,
+        weights: Optional[Mapping[str, float]] = None,
+        min_sampled: int = 200,
+        suppression: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        merged = dict(DEFAULT_WEIGHTS)
+        if weights:
+            merged.update(weights)
+        unknown = set(merged) - set(DEFAULT_WEIGHTS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scoring layers {sorted(unknown)}; "
+                f"expected a subset of {sorted(DEFAULT_WEIGHTS)}"
+            )
+        if any(value < 0 for value in merged.values()) or not any(
+            merged.values()
+        ):
+            raise ConfigurationError("scoring weights must be >= 0, not all zero")
+        if min_sampled < 1:
+            raise ConfigurationError("min_sampled must be at least 1")
+        self._weights = merged
+        self._min_sampled = min_sampled
+        self._suppression = dict(KNOWN_NEGATIVE_SUPPRESSION)
+        if suppression:
+            self._suppression.update(suppression)
+
+    @property
+    def min_sampled(self) -> int:
+        """Samples required before live evidence outranks the analytic model."""
+        return self._min_sampled
+
+    def live_ok(self, estimate: Optional[ShardFprEstimate]) -> bool:
+        """Whether an estimate carries enough samples to trust."""
+        return (
+            estimate is not None
+            and estimate.sampled >= self._min_sampled
+            and estimate.observed_fpr is not None
+        )
+
+    def score_shard(
+        self,
+        stats: ShardStats,
+        estimate: Optional[ShardFprEstimate],
+        candidates: Sequence[BackendCandidate],
+    ) -> Dict[str, float]:
+        """Composite score per candidate backend name, higher is better."""
+        if not candidates:
+            return {}
+        incumbent = stats.backend
+        num_keys = stats.num_keys
+        live = self.live_ok(estimate)
+        layers: List[Tuple[float, List[float]]] = []
+
+        count_fraction = (
+            min(1.0, max(0.0, estimate.known_fp_fraction)) if live else 0.0
+        )
+        fpr_values = []
+        for candidate in candidates:
+            if live and candidate.name == incumbent:
+                fpr_values.append(float(estimate.observed_fpr))
+            else:
+                kept = (
+                    1.0
+                    - self._suppression.get(candidate.name, 0.0) * count_fraction
+                )
+                fpr_values.append(
+                    analytic_fpr(candidate.name, candidate.bits_per_key, num_keys)
+                    * kept
+                )
+        layers.append((self._weights["fpr"], fpr_values))
+
+        if live and estimate.cost_weighted_fpr is not None:
+            fraction = min(1.0, max(0.0, estimate.known_fp_cost_fraction))
+            cost_values = []
+            for candidate in candidates:
+                if candidate.name == incumbent:
+                    cost_values.append(float(estimate.cost_weighted_fpr))
+                else:
+                    kept = 1.0 - self._suppression.get(candidate.name, 0.0) * fraction
+                    cost_values.append(
+                        analytic_fpr(
+                            candidate.name, candidate.bits_per_key, num_keys
+                        )
+                        * kept
+                    )
+            layers.append((self._weights["cost"], cost_values))
+
+        memory_values = []
+        for candidate in candidates:
+            if candidate.name == incumbent and num_keys > 0 and stats.size_in_bits:
+                memory_values.append(stats.size_in_bits / num_keys)
+            else:
+                memory_values.append(
+                    analytic_bits_per_key(
+                        candidate.name, candidate.bits_per_key, num_keys
+                    )
+                )
+        layers.append((self._weights["memory"], memory_values))
+
+        totals = [0.0] * len(candidates)
+        available_weight = 0.0
+        for weight, values in layers:
+            if weight <= 0.0:
+                continue
+            low, high = min(values), max(values)
+            spread = high - low
+            for index, value in enumerate(values):
+                normalised = 1.0 if spread <= 0.0 else (high - value) / spread
+                totals[index] += weight * normalised
+            available_weight += weight
+        if available_weight <= 0.0:
+            return {candidate.name: 0.0 for candidate in candidates}
+        return {
+            candidate.name: totals[index] / available_weight
+            for index, candidate in enumerate(candidates)
+        }
+
+
+class AdaptivePolicy:
+    """Decides, at rebuild time, which backend should serve each shard.
+
+    Install one on a :class:`~repro.service.server.MembershipService`
+    (``adaptive_policy=``); every ``rebuild()`` then evaluates the live
+    evidence and folds the resulting plan into the store construction, so a
+    migration is exactly as atomic as the rebuild carrying it.
+
+    Args:
+        candidates: Backends eligible to serve shards.  The service's
+            default backend is worth listing (with its kwargs) so the
+            scorer can defend it explicitly; an incumbent missing from the
+            list is still scored (with default kwargs) but can only lose
+            shards, never gain them.
+        scorer: Scoring function (default :class:`BackendScorer`).
+        hysteresis: Minimum composite-score margin a challenger needs over
+            the incumbent before a shard migrates.  Post-migration the
+            estimator's evidence for that shard resets, and the shard
+            cannot move again until ``min_sampled`` fresh samples accrue —
+            the two together damp flapping.
+
+    >>> from repro.service.stats import ShardStats
+    >>> from repro.obs.fpr_estimator import ShardFprEstimate
+    >>> policy = AdaptivePolicy(
+    ...     [BackendCandidate("bloom", {"bits_per_key": 10.0}),
+    ...      BackendCandidate("habf", {"bits_per_key": 10.0})],
+    ...     scorer=BackendScorer(min_sampled=100),
+    ... )
+    >>> stats = ShardStats(shard=0, num_keys=1000, queries=20000,
+    ...                    positives=2000, size_in_bits=10000, backend="bloom")
+    >>> hot = ShardFprEstimate(  # costly, known-negative-dominated errors
+    ...     shard=0, sampled=500, false_positives=60, fp_fraction=0.12,
+    ...     observed_fpr=0.012, cost_weighted_fpr=0.08, queries=20000,
+    ...     positives=2000, known_false_positives=55,
+    ...     known_fp_fraction=0.92, known_fp_cost_fraction=0.95)
+    >>> plan = policy.plan([stats], [hot])
+    >>> plan.migrations
+    [0]
+    >>> plan.assignments[0][0]
+    'habf'
+    """
+
+    def __init__(
+        self,
+        candidates: Sequence[BackendCandidate],
+        scorer: Optional[BackendScorer] = None,
+        hysteresis: float = 0.05,
+    ) -> None:
+        if not candidates:
+            raise ConfigurationError("an adaptive policy needs at least one candidate")
+        names = [candidate.name for candidate in candidates]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate candidate backends: {names}")
+        if hysteresis < 0.0:
+            raise ConfigurationError("hysteresis must be >= 0")
+        self._candidates = list(candidates)
+        self._by_name = {candidate.name: candidate for candidate in candidates}
+        self._scorer = scorer or BackendScorer()
+        self._hysteresis = hysteresis
+
+    @property
+    def candidates(self) -> List[BackendCandidate]:
+        return list(self._candidates)
+
+    @property
+    def scorer(self) -> BackendScorer:
+        return self._scorer
+
+    @property
+    def hysteresis(self) -> float:
+        return self._hysteresis
+
+    def plan(
+        self,
+        shard_stats: Sequence[ShardStats],
+        estimates: Sequence[Optional[ShardFprEstimate]],
+    ) -> MigrationPlan:
+        """Score every shard and decide its target backend.
+
+        ``shard_stats`` comes from the serving store
+        (:meth:`~repro.service.shards.ShardedFilterStore.shard_stats`),
+        ``estimates`` from
+        :meth:`~repro.obs.fpr_estimator.FprEstimator.estimates` over the
+        same list (entries may be ``None`` for shards without evidence).
+        """
+        plan = MigrationPlan()
+        for index, stats in enumerate(shard_stats):
+            estimate = estimates[index] if index < len(estimates) else None
+            incumbent = stats.backend
+            roster = list(self._candidates)
+            if incumbent and incumbent not in self._by_name:
+                roster.append(BackendCandidate(incumbent))
+            scores = self._scorer.score_shard(stats, estimate, roster)
+            if not scores:
+                continue
+            best = max(
+                scores,
+                key=lambda name: (scores[name], name == incumbent),
+            )
+            incumbent_score = scores.get(incumbent, 0.0)
+            margin = scores[best] - incumbent_score
+            live = self._scorer.live_ok(estimate)
+            migrate = (
+                best != incumbent
+                and best in self._by_name
+                and live
+                and stats.queries > 0
+                and margin >= self._hysteresis
+            )
+            winner = best if migrate else (incumbent or best)
+            plan.scores.append(
+                ShardScore(
+                    shard=stats.shard,
+                    incumbent=incumbent,
+                    winner=winner,
+                    margin=margin if migrate else 0.0,
+                    live=live,
+                    scores=scores,
+                )
+            )
+            if migrate:
+                plan.migrations.append(stats.shard)
+                target = self._by_name[best]
+                plan.assignments[stats.shard] = (target.name, dict(target.kwargs))
+            elif incumbent in self._by_name:
+                # Keep a previously-migrated (or explicitly listed) shard on
+                # its incumbent: omitting it would revert the shard to the
+                # rebuild's call-level backend.
+                keep = self._by_name[incumbent]
+                plan.assignments[stats.shard] = (keep.name, dict(keep.kwargs))
+        return plan

@@ -686,7 +686,21 @@ def _decode_adabf(reader: _Reader):
 def _encode_store(writer: _Writer, store: Any) -> None:
     writer.u32(store.num_shards)
     writer.u64(store.router_seed)
-    writer.str_field(store.backend_name)
+    # The backend-name field is free-form, so heterogeneous (adaptively
+    # migrated) stores reuse it without a frame-version bump: a "mixed:"
+    # prefix followed by the comma-joined per-shard names.  Plain names with
+    # a comma or that prefix would be ambiguous on decode, hence the guard.
+    shard_names = getattr(store, "shard_backend_names", None)
+    if shard_names is not None and len(set(shard_names)) > 1:
+        for name in shard_names:
+            if "," in name or name.startswith("mixed:"):
+                raise CodecError(
+                    f"shard backend name {name!r} cannot be encoded in a "
+                    "mixed store frame"
+                )
+        writer.str_field("mixed:" + ",".join(shard_names))
+    else:
+        writer.str_field(store.backend_name)
     fingerprints = store.shard_fingerprints
     generations = store.shard_generations
     for shard, (filt, key_count) in enumerate(
@@ -706,6 +720,15 @@ def _decode_store(reader: _Reader, version: int) -> Any:
     num_shards = reader.u32()
     router_seed = reader.u64()
     backend_name = reader.str_field()
+    shard_backend_names: Optional[List[str]] = None
+    if backend_name.startswith("mixed:"):
+        shard_backend_names = backend_name[len("mixed:") :].split(",")
+        if len(shard_backend_names) != num_shards:
+            raise CodecError(
+                f"mixed store frame names {len(shard_backend_names)} shard "
+                f"backends for {num_shards} shards"
+            )
+        backend_name = "mixed"
     filters = []
     key_counts = []
     generations: List[int] = []
@@ -731,6 +754,7 @@ def _decode_store(reader: _Reader, version: int) -> Any:
         shard_key_counts=key_counts,
         shard_generations=generations,
         shard_fingerprints=fingerprints,
+        shard_backend_names=shard_backend_names,
     )
 
 

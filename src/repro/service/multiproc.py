@@ -64,8 +64,9 @@ from repro.errors import CodecError, ServiceError
 from repro.hashing import vectorized as vec
 from repro.hashing.base import Key
 from repro.metrics.timing import latency_percentiles
-from repro.obs import CollectedFamily, Registry, Sample, default_registry
+from repro.obs import CollectedFamily, FprEstimator, Registry, Sample, default_registry
 from repro.service import codec
+from repro.service.adaptive import AdaptivePolicy
 from repro.service.backends import BackendSpec
 from repro.service.server import BatchAnswer, MembershipService
 from repro.service.shards import ShardedFilterStore
@@ -535,6 +536,15 @@ class ReplicaPool:
         load_timeout: Seconds to wait for a replica to install a generation.
         start_method: Override the multiprocessing start method (default:
             fork while single-threaded, else forkserver, else spawn).
+        fpr_estimator: An optional :class:`~repro.obs.FprEstimator`,
+            attached to the parent-side builder.  Replicas answer the
+            queries, so the parent feeds each dispatched window back into
+            the estimator (and the builder store's per-shard counters) —
+            the same live evidence the single-process service collects.
+        adaptive_policy: An optional
+            :class:`~repro.service.adaptive.AdaptivePolicy` on the builder;
+            adaptive migrations then ride :meth:`rebuild`'s drain-then-roll
+            swap, keeping the fleet's generation stream atomic.
         backend_kwargs: Forwarded to the backend factory.
     """
 
@@ -550,6 +560,8 @@ class ReplicaPool:
         request_timeout: float = 30.0,
         load_timeout: float = 120.0,
         start_method: Optional[str] = None,
+        fpr_estimator: Optional[FprEstimator] = None,
+        adaptive_policy: Optional[AdaptivePolicy] = None,
         **backend_kwargs,
     ) -> None:
         if replicas < 1:
@@ -567,6 +579,8 @@ class ReplicaPool:
             router_seed=router_seed,
             build_workers=build_workers,
             registry=self._registry,
+            fpr_estimator=fpr_estimator,
+            adaptive_policy=adaptive_policy,
             **backend_kwargs,
         )
         self._replicas: List[_Replica] = []
@@ -682,6 +696,28 @@ class ReplicaPool:
             child_conn.close()
             self._replicas.append(_Replica(index, process, parent_conn))
 
+    def _reap_dead(self) -> None:
+        """Drop replicas whose process died (e.g. SIGKILL) from the fleet.
+
+        A dead replica can never hand its free-queue token back, so leaving
+        it in ``self._replicas`` would wedge the next generation swap's
+        drain.  Reaping shrinks the fleet to the survivors; a later swap
+        rolls exactly those (and respawns a full fleet only if none are
+        left).  Stale free-queue tokens for reaped replicas are skipped at
+        acquisition time.
+        """
+        if all(replica.process.is_alive() for replica in self._replicas):
+            return
+        survivors = []
+        for replica in self._replicas:
+            if replica.process.is_alive():
+                survivors.append(replica)
+                continue
+            replica.process.join(timeout=0)
+            with contextlib.suppress(Exception):
+                replica.conn.close()
+        self._replicas = survivors
+
     def _acquire_all(self) -> List[_Replica]:
         """Drain the free queue: returns once no window is in flight."""
         held = []
@@ -695,9 +731,12 @@ class ReplicaPool:
                     "timed out draining in-flight windows before a generation swap"
                 )
             try:
-                held.append(self._free.get(timeout=remaining))
+                replica = self._free.get(timeout=remaining)
             except queue.Empty:
                 continue
+            if not replica.process.is_alive():
+                continue  # stale token for a reaped replica
+            held.append(replica)
         return held
 
     # ------------------------------------------------------------------ #
@@ -728,12 +767,16 @@ class ReplicaPool:
         generation allows it, exactly like the single-process service); the
         swap acquires all replicas — draining in-flight windows — before any
         replica installs the new arena, so the answered-window stream sees
-        generations in monotone order and no window mixes two.  Returns the
-        new generation.
+        generations in monotone order and no window mixes two.  Replicas
+        that died since the last swap (e.g. SIGKILL) are reaped first, so
+        the roll covers exactly the surviving fleet — an adaptive migration
+        lands on every replica still serving — and a fleet with no
+        survivors respawns in full.  Returns the new generation.
         """
         if self._closed:
             raise ServiceError("the replica pool is closed")
         with self._swap_lock:
+            self._reap_dead()
             generation = self._builder.rebuild(
                 keys,
                 negatives=negatives,
@@ -862,6 +905,19 @@ class ReplicaPool:
             self._replica_positives[index].inc(positives)
         self._replica_dispatch[index].observe(elapsed)
         self._latency.record(elapsed / max(count, 1))
+        # Replicas answer from their own store copies, so the builder's
+        # per-shard counters (the adaptive scorer's traffic evidence) and
+        # the FPR estimator only see this window if the parent feeds it
+        # back.  One router pass serves both.
+        estimator = self._builder.fpr_estimator
+        if estimator is not None or self._builder.adaptive_policy is not None:
+            snapshot = self._builder.snapshot
+            if snapshot is not None:
+                shards = snapshot.store.record_shard_traffic(raw, verdicts)
+                if positives and estimator is not None and estimator.active:
+                    estimator.observe_batch(
+                        raw, verdicts, snapshot.store.shard_of, shards=shards
+                    )
         return BatchAnswer(
             verdicts=verdicts, generation=generation, elapsed_seconds=elapsed
         )
@@ -963,14 +1019,26 @@ class ReplicaPool:
             if replica.process.pid is not None
         ]
 
+    @property
+    def fpr_estimator(self) -> Optional[FprEstimator]:
+        """The builder's live-FPR estimator, or ``None``."""
+        return self._builder.fpr_estimator
+
+    @property
+    def adaptive_policy(self) -> Optional[AdaptivePolicy]:
+        """The builder's adaptive backend-selection policy, or ``None``."""
+        return self._builder.adaptive_policy
+
     def stats(self) -> ServiceStats:
         """Fleet-aggregated stats in the standard :class:`ServiceStats` shape.
 
         Build/rebuild counters come from the parent's builder; traffic
         counters are the parent-side dispatch accounting summed over
-        replicas.  Per-shard query counts live in the replicas and are *not*
-        folded in here (the shard rows report build-time facts); use
-        :meth:`stats_by_replica` for replica-resident numbers.
+        replicas.  Without an estimator or adaptive policy the per-shard
+        rows report build-time facts only (replica-resident counters are
+        available via :meth:`stats_by_replica`); with one attached, the
+        parent's window feedback keeps the builder's shard counters — and
+        therefore the rows here — tracking replica traffic.
         """
         stats = self._builder.stats()
         stats.queries = sum(int(child.value) for child in self._replica_keys)
@@ -993,6 +1061,8 @@ class ReplicaPool:
         reports = []
         for _ in range(len(self._replicas)):
             replica = self._free.get(timeout=self._request_timeout)
+            if not replica.process.is_alive():
+                continue  # stale token for a dead replica; drop it
             try:
                 replica.conn.send(("stats",))
                 reply = _expect(

@@ -40,9 +40,10 @@ from repro.obs import (
     default_registry,
 )
 from repro.service import codec
+from repro.service.adaptive import AdaptivePolicy, MigrationPlan
 from repro.service.backends import BackendSpec
 from repro.service.shards import ShardedFilterStore
-from repro.service.stats import LatencyWindow, ServiceStats
+from repro.service.stats import AdaptiveStats, LatencyWindow, ServiceStats
 
 #: Distinguishes service instances inside shared metric families: every
 #: instance labels its children ``service="svc-<n>"`` so two services in one
@@ -126,8 +127,18 @@ class MembershipService:
             latency windows still work).
         fpr_estimator: An optional :class:`~repro.obs.FprEstimator`; when
             attached, each rebuild re-registers the generation's build keys
-            as its ground-truth oracle (unless a custom oracle was set) and
-            the query paths feed it verdicts to shadow-sample.
+            as its ground-truth oracle (unless a custom oracle was set), and
+            — unless :attr:`~repro.obs.FprEstimator.auto_known_negatives`
+            was cleared — the rebuild's negatives as its known-negative set
+            (plus its costs, when given); the query paths feed it verdicts
+            to shadow-sample.
+        adaptive_policy: An optional
+            :class:`~repro.service.adaptive.AdaptivePolicy`.  When
+            installed, every :meth:`rebuild` scores the serving shards from
+            the estimator's live evidence and migrates losing shards to the
+            winning candidate backend as part of the same atomic generation
+            swap.  Pair it with ``fpr_estimator`` — without live evidence
+            the policy never migrates anything.
         backend_kwargs: Forwarded to the backend factory when ``backend`` is
             a name (e.g. ``bits_per_key=12.0``).
     """
@@ -142,6 +153,7 @@ class MembershipService:
         build_workers: Optional[int] = None,
         registry: Optional[Registry] = None,
         fpr_estimator: Optional[FprEstimator] = None,
+        adaptive_policy: Optional[AdaptivePolicy] = None,
         **backend_kwargs,
     ) -> None:
         if num_shards < 1:
@@ -161,6 +173,8 @@ class MembershipService:
         self._registry = registry if registry is not None else default_registry()
         self._obs_label = f"svc-{next(_SERVICE_IDS)}"
         self._fpr = fpr_estimator
+        self._adaptive = adaptive_policy
+        self._last_plan: Optional[MigrationPlan] = None
         self._started = time.monotonic()
         self._make_instruments()
         self._registry.add_collector(self._collect_shard_families)
@@ -223,6 +237,17 @@ class MembershipService:
             "Build/rebuild wall-clock duration, one observation per swap",
             ("service",),
         ).labels(label)
+        if self._adaptive is not None:
+            self._adaptive_evals = registry.counter(
+                "repro_adaptive_evaluations_total",
+                "Rebuilds on which the adaptive policy scored the shards",
+                ("service",),
+            ).labels(label)
+            self._adaptive_migrated = registry.counter(
+                "repro_adaptive_migrations_total",
+                "Shard backend migrations applied by the adaptive policy",
+                ("service",),
+            ).labels(label)
 
     # ------------------------------------------------------------------ #
     # Loading and rebuilding
@@ -242,6 +267,7 @@ class MembershipService:
         negatives: Sequence[Key],
         costs: Optional[Mapping[Key, float]],
         workers: Optional[int],
+        shard_backends: Optional[dict] = None,
     ) -> ShardedFilterStore:
         return ShardedFilterStore.build(
             keys,
@@ -251,6 +277,7 @@ class MembershipService:
             backend=self._backend,
             router_seed=self._router_seed,
             workers=workers,
+            shard_backends=shard_backends,
             **self._backend_kwargs,
         )
 
@@ -263,6 +290,7 @@ class MembershipService:
         changed_keys: Optional[Sequence[Key]],
         incremental: bool,
         workers: Optional[int],
+        shard_backends: Optional[dict] = None,
     ):
         """Build the next store, incrementally when the previous one allows it.
 
@@ -271,7 +299,10 @@ class MembershipService:
         built with the service's exact backend configuration; otherwise —
         and on the first load — every shard is built.  (A snapshot installed
         via :meth:`install_snapshot` records no build parameters, so the
-        first rebuild after a restore is always full.)
+        first rebuild after a restore is always full.)  ``shard_backends``
+        (an adaptive plan's assignments) overrides the backend per shard on
+        either path; a shard whose planned backend differs from the one
+        serving it counts dirty and rebuilds.
         """
         if incremental and previous is not None:
             store = previous.store
@@ -289,9 +320,10 @@ class MembershipService:
                     backend=self._backend,
                     changed_keys=changed_keys,
                     workers=workers,
+                    shard_backends=shard_backends,
                     **self._backend_kwargs,
                 )
-        full = self._build_store(keys, negatives, costs, workers)
+        full = self._build_store(keys, negatives, costs, workers, shard_backends)
         return full, list(range(full.num_shards)), []
 
     def load(
@@ -333,6 +365,12 @@ class MembershipService:
         full rebuild.  ``workers`` parallelises the dirty-shard builds
         (default: the service's ``build_workers``).
 
+        With an :class:`~repro.service.adaptive.AdaptivePolicy` installed,
+        the serving shards are scored *before* construction and losing
+        shards are built on their winning backend — the migration is part of
+        the same snapshot swap, so queries see the old generation in full
+        until the instant they see the new one in full.
+
         Returns the new service generation.
         """
         keys = list(keys)
@@ -340,10 +378,28 @@ class MembershipService:
         if workers is None:
             workers = self._build_workers
         previous = self._snapshot
+        plan: Optional[MigrationPlan] = None
+        policy = self._adaptive
+        if policy is not None and previous is not None:
+            per_shard = previous.store.shard_stats()
+            estimator = self._fpr
+            estimates: Sequence[Optional[ShardFprEstimate]]
+            if estimator is not None:
+                estimates = estimator.estimates(per_shard)
+            else:
+                estimates = [None] * len(per_shard)
+            plan = policy.plan(per_shard, estimates)
         watch = Stopwatch()
         with watch:
             store, rebuilt, skipped = self._construct_generation(
-                previous, keys, negatives, costs, changed_keys, incremental, workers
+                previous,
+                keys,
+                negatives,
+                costs,
+                changed_keys,
+                incremental,
+                workers,
+                shard_backends=plan.assignments if plan is not None else None,
             )
         with self._swap_lock:
             current = self._snapshot
@@ -362,9 +418,24 @@ class MembershipService:
             self._rebuild_seconds.observe(watch.seconds)
             self._generation_gauge.set(generation)
             self._keys_gauge.set(len(keys))
+            if plan is not None:
+                self._last_plan = plan
+                self._adaptive_evals.inc()
+                if plan.migrations:
+                    self._adaptive_migrated.inc(len(plan.migrations))
         estimator = self._fpr
-        if estimator is not None and estimator.auto_oracle:
-            estimator.set_key_oracle(keys)
+        if estimator is not None:
+            if estimator.auto_oracle:
+                estimator.set_key_oracle(keys)
+            if estimator.auto_known_negatives:
+                estimator.set_known_negatives(negatives)
+                if costs is not None:
+                    estimator.set_costs(costs)
+            if plan is not None and plan.migrations:
+                # Accumulated evidence on migrated shards describes the
+                # previous backend; fresh samples must re-qualify the shard
+                # before it can move again (flap damping).
+                estimator.reset_shards(plan.migrations)
         return generation
 
     def install_snapshot(
@@ -524,6 +595,16 @@ class MembershipService:
         """The attached live-FPR estimator, or ``None``."""
         return self._fpr
 
+    @property
+    def adaptive_policy(self) -> Optional[AdaptivePolicy]:
+        """The installed adaptive backend-selection policy, or ``None``."""
+        return self._adaptive
+
+    @property
+    def last_migration_plan(self) -> Optional[MigrationPlan]:
+        """The most recent adaptive evaluation's plan, or ``None``."""
+        return self._last_plan
+
     def fpr_estimates(self) -> List[ShardFprEstimate]:
         """Per-shard live FPR estimates (empty without estimator/snapshot)."""
         snapshot = self._snapshot
@@ -546,6 +627,17 @@ class MembershipService:
         snapshot = self._snapshot
         samples = self._latency.samples()
         rebuild_samples = self._rebuild_latency.samples()
+        adaptive: Optional[AdaptiveStats] = None
+        if self._adaptive is not None:
+            plan = self._last_plan
+            adaptive = AdaptiveStats(
+                evaluations=int(self._adaptive_evals.value),
+                migrations=int(self._adaptive_migrated.value),
+                last_migrated=list(plan.migrations) if plan is not None else [],
+                shard_backends=(
+                    snapshot.store.shard_backend_names if snapshot else []
+                ),
+            )
         return ServiceStats(
             generation=snapshot.generation if snapshot else 0,
             num_keys=snapshot.num_keys if snapshot else 0,
@@ -561,6 +653,7 @@ class MembershipService:
             rebuild_latency=(
                 latency_percentiles(rebuild_samples) if rebuild_samples else None
             ),
+            adaptive=adaptive,
             uptime_seconds=time.monotonic() - self._started,
             rss_bytes=process_rss_bytes(),
         )
@@ -665,6 +758,51 @@ class MembershipService:
                     ),
                 ]
             )
+        if self._adaptive is not None:
+            families.append(
+                CollectedFamily(
+                    "repro_adaptive_shard_backend",
+                    "gauge",
+                    "Backend serving each shard (info-style: value is always 1)",
+                    tuple(
+                        Sample(
+                            "",
+                            base
+                            + (
+                                ("shard", str(stats.shard)),
+                                ("backend", stats.backend),
+                            ),
+                            1.0,
+                        )
+                        for stats in per_shard
+                    ),
+                )
+            )
+            plan = self._last_plan
+            if plan is not None:
+                score_samples = []
+                for score in plan.scores:
+                    for name in sorted(score.scores):
+                        score_samples.append(
+                            Sample(
+                                "",
+                                base
+                                + (
+                                    ("shard", str(score.shard)),
+                                    ("backend", name),
+                                ),
+                                score.scores[name],
+                            )
+                        )
+                families.append(
+                    CollectedFamily(
+                        "repro_adaptive_score",
+                        "gauge",
+                        "Composite score per shard and candidate backend at "
+                        "the last adaptive evaluation (higher is better)",
+                        tuple(score_samples),
+                    )
+                )
         return families
 
     def save_snapshot(self, path) -> int:
@@ -680,6 +818,7 @@ class MembershipService:
         latency_window: int = 4096,
         registry: Optional[Registry] = None,
         fpr_estimator: Optional[FprEstimator] = None,
+        adaptive_policy: Optional[AdaptivePolicy] = None,
         **backend_kwargs,
     ) -> "MembershipService":
         """Start a service from a codec snapshot written by :meth:`save_snapshot`.
@@ -701,6 +840,7 @@ class MembershipService:
             latency_window=latency_window,
             registry=registry,
             fpr_estimator=fpr_estimator,
+            adaptive_policy=adaptive_policy,
             **backend_kwargs,
         )
         service.install_snapshot(store)

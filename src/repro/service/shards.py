@@ -208,6 +208,7 @@ class ShardedFilterStore:
         shard_key_counts: Optional[Sequence[int]] = None,
         shard_generations: Optional[Sequence[int]] = None,
         shard_fingerprints: Optional[Sequence[Optional[int]]] = None,
+        shard_backend_names: Optional[Sequence[str]] = None,
     ) -> None:
         if not filters:
             raise ConfigurationError("a sharded store needs at least one shard")
@@ -225,22 +226,30 @@ class ShardedFilterStore:
             if shard_fingerprints is not None
             else [None] * num_shards
         )
+        backend_names = (
+            list(shard_backend_names)
+            if shard_backend_names is not None
+            else [backend_name] * num_shards
+        )
         for label, values in (
             ("shard_key_counts", counts),
             ("shard_generations", generations),
             ("shard_fingerprints", fingerprints),
+            ("shard_backend_names", backend_names),
         ):
             if len(values) != num_shards:
                 raise ConfigurationError(
                     f"{label} length {len(values)} != shard count {num_shards}"
                 )
         self._shard_fingerprints: List[Optional[int]] = fingerprints
+        self._shard_backend_names: List[str] = backend_names
         self._stats = [
             ShardStats(
                 shard=index,
                 num_keys=counts[index],
                 size_in_bits=self._filter_bits(index),
                 generation=generations[index],
+                backend=backend_names[index],
             )
             for index in range(num_shards)
         ]
@@ -399,6 +408,97 @@ class ShardedFilterStore:
         return built
 
     @classmethod
+    def _plan_backends(
+        cls,
+        num_shards: int,
+        backend: BackendSpec,
+        backend_kwargs: dict,
+        shard_backends: Optional[Mapping[int, object]],
+    ) -> List[Tuple[BackendSpec, dict, object, str]]:
+        """Resolve the (spec, kwargs, policy, name) that serves each shard.
+
+        ``shard_backends`` maps shard index → an override: either a backend
+        spec (which inherits the call's ``backend_kwargs``) or a
+        ``(spec, kwargs)`` pair that carries exactly its own kwargs.  Shards
+        without an override use the call-level backend.  One policy instance
+        is shared per distinct (spec, kwargs), so a homogeneous store still
+        resolves exactly one policy and overridden shards build as
+        deterministically as any other.
+        """
+        overrides = dict(shard_backends) if shard_backends else {}
+        for shard in overrides:
+            if not 0 <= int(shard) < num_shards:
+                raise ConfigurationError(
+                    f"shard_backends names shard {shard}, but the store has "
+                    f"{num_shards} shards"
+                )
+        cache: Dict[object, Tuple[object, str]] = {}
+
+        def _resolve(spec: BackendSpec, kwargs: dict) -> Tuple[object, str]:
+            params = tuple(sorted(kwargs.items()))
+            cache_key = (spec, params) if isinstance(spec, str) else (id(spec), params)
+            entry = cache.get(cache_key)
+            if entry is None:
+                policy = resolve_backend(spec, **kwargs)
+                entry = (policy, getattr(policy, "name", type(policy).__name__))
+                cache[cache_key] = entry
+            return entry
+
+        plan: List[Tuple[BackendSpec, dict, object, str]] = []
+        for shard in range(num_shards):
+            override = overrides.get(shard)
+            if override is None:
+                spec, kwargs = backend, backend_kwargs
+            elif isinstance(override, tuple):
+                spec, kwargs = override[0], dict(override[1])
+            else:
+                spec, kwargs = override, dict(backend_kwargs)
+            policy, name = _resolve(spec, kwargs)
+            plan.append((spec, kwargs, policy, name))
+        return plan
+
+    @classmethod
+    def _build_planned(
+        cls,
+        plan: List[Tuple[BackendSpec, dict, object, str]],
+        shard_keys: List[List[Key]],
+        shard_negatives: List[List[Key]],
+        shard_costs: List[Optional[dict]],
+        shards: Sequence[int],
+        workers: Optional[int],
+        worker_mode: str,
+    ) -> Dict[int, object]:
+        """Build filters for ``shards``, grouping them by planned policy.
+
+        Each group runs through :meth:`_build_filters` under its own
+        backend, so worker-pool semantics and the per-backend
+        build-seconds histogram behave identically whether the store is
+        homogeneous or mixed.
+        """
+        built: Dict[int, object] = {}
+        groups: Dict[int, List[int]] = {}
+        for shard in shards:
+            groups.setdefault(id(plan[shard][2]), []).append(shard)
+        for members in groups.values():
+            spec, kwargs, policy, name = plan[members[0]]
+            start = time.perf_counter()
+            built.update(
+                cls._build_filters(
+                    spec,
+                    kwargs,
+                    policy,
+                    shard_keys,
+                    shard_negatives,
+                    shard_costs,
+                    members,
+                    workers,
+                    worker_mode,
+                )
+            )
+            _observe_build_seconds(name, time.perf_counter() - start)
+        return built
+
+    @classmethod
     def build(
         cls,
         keys: Sequence[Key],
@@ -409,6 +509,7 @@ class ShardedFilterStore:
         router_seed: int = 0,
         workers: Optional[int] = None,
         worker_mode: str = "auto",
+        shard_backends: Optional[Mapping[int, object]] = None,
         **backend_kwargs,
     ) -> "ShardedFilterStore":
         """Partition ``keys`` across ``num_shards`` filters and build each one.
@@ -420,22 +521,23 @@ class ShardedFilterStore:
         ``workers`` > 1 builds shards concurrently (see
         :meth:`_build_filters` for the mode semantics); the result is
         bit-identical to a sequential build because every backend constructs
-        deterministically from its shard's keys.
+        deterministically from its shard's keys.  ``shard_backends``
+        overrides the backend per shard (see :meth:`_plan_backends`); when
+        the resulting shards diverge the store-level name becomes
+        ``"mixed"`` and the per-shard names survive codec round-trips.
         """
         keys = list(keys)
         if not keys:
             raise ConfigurationError("cannot build a sharded store from an empty key set")
-        policy = resolve_backend(backend, **backend_kwargs)
+        plan = cls._plan_backends(num_shards, backend, backend_kwargs, shard_backends)
         router = ShardRouter(num_shards, seed=router_seed)
         shard_keys, shard_negatives, shard_costs, fingerprints = cls._partition(
             router, keys, negatives, costs
         )
-        backend_name = getattr(policy, "name", type(policy).__name__)
-        build_start = time.perf_counter()
-        built = cls._build_filters(
-            backend,
-            backend_kwargs,
-            policy,
+        names = [entry[3] for entry in plan]
+        backend_name = names[0] if len(set(names)) == 1 else "mixed"
+        built = cls._build_planned(
+            plan,
             shard_keys,
             shard_negatives,
             shard_costs,
@@ -443,13 +545,13 @@ class ShardedFilterStore:
             workers,
             worker_mode,
         )
-        _observe_build_seconds(backend_name, time.perf_counter() - build_start)
         return cls(
             filters=[built[shard] for shard in range(num_shards)],
             router_seed=router_seed,
             backend_name=backend_name,
             shard_key_counts=[len(group) for group in shard_keys],
             shard_fingerprints=fingerprints,
+            shard_backend_names=names,
         )
 
     @classmethod
@@ -463,31 +565,38 @@ class ShardedFilterStore:
         changed_keys: Optional[Iterable[Key]] = None,
         workers: Optional[int] = None,
         worker_mode: str = "auto",
+        shard_backends: Optional[Mapping[int, object]] = None,
         **backend_kwargs,
     ) -> Tuple["ShardedFilterStore", List[int], List[int]]:
         """Build a successor store, reconstructing only the dirty shards.
 
         A shard is dirty when its key-set fingerprint (or key count) differs
         from ``previous``, when ``previous`` has no fingerprint for it (e.g.
-        a version-1 snapshot), or when ``changed_keys`` routes to it — the
+        a version-1 snapshot), when ``changed_keys`` routes to it — the
         hint lets callers force shards whose *negatives or costs* changed,
-        which the positive-key fingerprint cannot see.  Clean shards share
-        the previous store's filter objects (immutable, so sharing is safe)
-        and keep their per-shard generation; dirty shards rebuild (on
-        ``workers`` like :meth:`build`) and increment it.
+        which the positive-key fingerprint cannot see — or when the planned
+        backend name differs from the one that built it (an adaptive
+        migration).  Clean shards share the previous store's filter objects
+        (immutable, so sharing is safe) and keep their per-shard generation;
+        dirty shards rebuild (on ``workers`` like :meth:`build`) and
+        increment it.
 
         Returns ``(store, rebuilt_shards, skipped_shards)``.
         """
         keys = list(keys)
         if not keys:
             raise ConfigurationError("cannot rebuild a sharded store from an empty key set")
-        policy = resolve_backend(backend, **backend_kwargs)
         router = previous._router
+        plan = cls._plan_backends(
+            router.num_shards, backend, backend_kwargs, shard_backends
+        )
         shard_keys, shard_negatives, shard_costs, fingerprints = cls._partition(
             router, keys, negatives, costs
         )
+        names = [entry[3] for entry in plan]
         previous_counts = previous.shard_key_counts
         previous_fingerprints = previous.shard_fingerprints
+        previous_names = previous.shard_backend_names
         dirty = set()
         for shard in range(router.num_shards):
             known = previous_fingerprints[shard]
@@ -495,16 +604,14 @@ class ShardedFilterStore:
                 known is None
                 or known != fingerprints[shard]
                 or previous_counts[shard] != len(shard_keys[shard])
+                or previous_names[shard] != names[shard]
             ):
                 dirty.add(shard)
         if changed_keys is not None:
             for key in changed_keys:
                 dirty.add(router.shard_of(key))
-        build_start = time.perf_counter()
-        built = cls._build_filters(
-            backend,
-            backend_kwargs,
-            policy,
+        built = cls._build_planned(
+            plan,
             shard_keys,
             shard_negatives,
             shard_costs,
@@ -512,27 +619,29 @@ class ShardedFilterStore:
             workers,
             worker_mode,
         )
-        _observe_build_seconds(
-            getattr(policy, "name", type(policy).__name__),
-            time.perf_counter() - build_start,
-        )
         previous_generations = previous.shard_generations
         filters: List[object] = []
         generations: List[int] = []
+        final_names: List[str] = []
         for shard in range(router.num_shards):
             if shard in dirty:
                 filters.append(built[shard])
                 generations.append(previous_generations[shard] + 1)
+                final_names.append(names[shard])
             else:
                 filters.append(previous.filters[shard])
                 generations.append(previous_generations[shard])
+                final_names.append(previous_names[shard])
         store = cls(
             filters=filters,
             router_seed=previous.router_seed,
-            backend_name=getattr(policy, "name", type(policy).__name__),
+            backend_name=(
+                final_names[0] if len(set(final_names)) == 1 else "mixed"
+            ),
             shard_key_counts=[len(group) for group in shard_keys],
             shard_generations=generations,
             shard_fingerprints=fingerprints,
+            shard_backend_names=final_names,
         )
         rebuilt = sorted(dirty)
         skipped = [shard for shard in range(router.num_shards) if shard not in dirty]
@@ -547,6 +656,7 @@ class ShardedFilterStore:
         shard_key_counts: Optional[Sequence[int]] = None,
         shard_generations: Optional[Sequence[int]] = None,
         shard_fingerprints: Optional[Sequence[Optional[int]]] = None,
+        shard_backend_names: Optional[Sequence[str]] = None,
     ) -> "ShardedFilterStore":
         """Reassemble a store from decoded parts (used by the codec)."""
         return cls(
@@ -556,6 +666,7 @@ class ShardedFilterStore:
             shard_key_counts=shard_key_counts,
             shard_generations=shard_generations,
             shard_fingerprints=shard_fingerprints,
+            shard_backend_names=shard_backend_names,
         )
 
     # ------------------------------------------------------------------ #
@@ -598,6 +709,16 @@ class ShardedFilterStore:
         """Order-independent digests of each shard's key multiset (``None``
         when unknown, e.g. a store assembled from parts without them)."""
         return list(self._shard_fingerprints)
+
+    @property
+    def shard_backend_names(self) -> List[str]:
+        """Registered backend name serving each shard, in shard order.
+
+        Homogeneous stores repeat :attr:`backend_name`; adaptive migrations
+        make entries diverge, at which point the store-level name reads
+        ``"mixed"`` and these names are what the codec persists.
+        """
+        return list(self._shard_backend_names)
 
     def shard_stats(self) -> List[ShardStats]:
         """Point-in-time copies of the per-shard counters."""
@@ -731,6 +852,41 @@ class ShardedFilterStore:
                 stats.queries += int(positions.size)
                 stats.positives += int(np.count_nonzero(answers))
         return results.tolist()
+
+    def record_shard_traffic(self, keys: "vec.BatchLike", verdicts: Sequence[bool]):
+        """Fold externally-answered traffic into the per-shard counters.
+
+        The multi-process pool answers queries inside replica processes,
+        whose stores never touch the parent's counters; the parent feeds
+        each dispatched window back through this so adaptive scoring sees
+        per-shard queries/positives for replica traffic too.  Returns the
+        routed shard per key (an int64 ndarray with numpy, a plain list
+        without) so callers can hand the same routing pass to the FPR
+        estimator instead of re-hashing the window.
+        """
+        np = vec.numpy_or_none()
+        if np is not None:
+            batch = keys if isinstance(keys, vec.KeyBatch) else vec.KeyBatch(list(keys))
+            if not len(batch):
+                return np.zeros(0, dtype=np.int64)
+            shards = self._router.shard_of_many(batch)
+            hits = np.asarray(verdicts, dtype=bool)
+            with self._stats_lock:
+                for shard in np.unique(shards):
+                    mask = shards == shard
+                    stats = self._stats[int(shard)]
+                    stats.queries += int(np.count_nonzero(mask))
+                    stats.positives += int(np.count_nonzero(hits[mask]))
+            return shards
+        plain = list(keys.keys) if isinstance(keys, vec.KeyBatch) else list(keys)
+        shards = [self._router.shard_of(key) for key in plain]
+        with self._stats_lock:
+            for shard, verdict in zip(shards, verdicts):
+                stats = self._stats[shard]
+                stats.queries += 1
+                if verdict:
+                    stats.positives += 1
+        return shards
 
     def __contains__(self, key: Key) -> bool:
         return self.query(key)

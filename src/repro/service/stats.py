@@ -34,6 +34,9 @@ class ShardStats:
         generation: How many times this shard has been (re)built.  An
             incremental rebuild only advances the generations of the shards
             it reconstructed; the service generation advances on every swap.
+        backend: Registered name of the backend this shard's filter was
+            built with.  Homogeneous stores repeat the store-level name;
+            adaptive migrations make shards diverge.
     """
 
     shard: int
@@ -42,6 +45,7 @@ class ShardStats:
     positives: int = 0
     size_in_bits: int = 0
     generation: int = 1
+    backend: str = ""
 
 
 @dataclass
@@ -86,6 +90,29 @@ class MicroBatchStats:
 
 
 @dataclass
+class AdaptiveStats:
+    """Counters for a service's workload-adaptive backend selection.
+
+    Attached to :class:`ServiceStats` when a
+    :class:`~repro.service.adaptive.AdaptivePolicy` is installed (``None``
+    otherwise), so ``stats()`` / ``STATS`` / ``GET /stats`` carry the
+    adaptive state without changing their shapes for non-adaptive services.
+
+    Attributes:
+        evaluations: Rebuilds on which the policy scored the shards.
+        migrations: Shard backend migrations applied, cumulative.
+        last_migrated: Shards whose backend changed on the most recent
+            rebuild (empty when the last evaluation kept every shard).
+        shard_backends: Backend name serving each shard, in shard order.
+    """
+
+    evaluations: int = 0
+    migrations: int = 0
+    last_migrated: List[int] = field(default_factory=list)
+    shard_backends: List[str] = field(default_factory=list)
+
+
+@dataclass
 class ServiceStats:
     """A point-in-time snapshot of a :class:`~repro.service.server.MembershipService`.
 
@@ -110,6 +137,9 @@ class ServiceStats:
             before the first load.
         batching: Micro-batcher counters when the snapshot was taken through
             an async front-end's ``stats()``; ``None`` for a bare service.
+        adaptive: Workload-adaptive selection counters when an
+            :class:`~repro.service.adaptive.AdaptivePolicy` is installed;
+            ``None`` otherwise.
         uptime_seconds: Seconds since this service instance was constructed.
         rss_bytes: Resident set size of the process at snapshot time, or
             ``None`` when the platform hides it (see
@@ -129,6 +159,7 @@ class ServiceStats:
     latency: Optional[LatencyPercentiles] = None
     rebuild_latency: Optional[LatencyPercentiles] = None
     batching: Optional[MicroBatchStats] = None
+    adaptive: Optional[AdaptiveStats] = None
     uptime_seconds: float = 0.0
     rss_bytes: Optional[int] = None
 

@@ -6,11 +6,15 @@
   integer) with no learnable structure.
 * :mod:`repro.workloads.zipf` — Zipf-distributed misidentification costs with
   a configurable skewness factor (0 = uniform).
+* :mod:`repro.workloads.drift` — streaming-workload generators (Zipf query
+  mixes with rotatable hot sets, key churn, adversarial always-miss floods)
+  for scenario replays; all seeded.
 * :mod:`repro.workloads.dataset` — the :class:`~repro.workloads.dataset.MembershipDataset`
   container holding positive keys, negative keys and per-key costs.
 """
 
 from repro.workloads.dataset import MembershipDataset
+from repro.workloads.drift import adversarial_flood, churn_keys, zipf_query_stream
 from repro.workloads.shalla import generate_shalla_like
 from repro.workloads.ycsb import generate_ycsb_like
 from repro.workloads.zipf import assign_zipf_costs, zipf_weights
@@ -21,4 +25,7 @@ __all__ = [
     "generate_ycsb_like",
     "assign_zipf_costs",
     "zipf_weights",
+    "adversarial_flood",
+    "churn_keys",
+    "zipf_query_stream",
 ]

@@ -1,0 +1,118 @@
+"""Streaming-workload generators: Zipf query mixes, key churn, flood keys.
+
+The static generators (:mod:`~repro.workloads.shalla`,
+:mod:`~repro.workloads.ycsb`) produce one fixed dataset; scenario replays
+also need the *traffic* side — which keys get queried, how the hot set
+drifts between phases, which keys rotate out of the positive set, and the
+adversarial always-miss floods the paper's cost model is built to absorb.
+Every generator here takes an explicit ``seed=`` (or an injectable ``rng=``
+``random.Random``), so a scenario replay is reproducible end to end and the
+seeds can be recorded next to its results.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hashing.base import Key, mix64
+from repro.workloads.zipf import zipf_weights
+
+__all__ = ["adversarial_flood", "churn_keys", "zipf_query_stream"]
+
+
+def zipf_query_stream(
+    population: Sequence[Key],
+    count: int,
+    skewness: float = 1.0,
+    seed: int = 1,
+    rng: Optional[random.Random] = None,
+    rotate: int = 0,
+) -> List[Key]:
+    """Draw a Zipf-weighted query stream over ``population``.
+
+    The first key in (rotated) population order is the hottest; ``rotate``
+    shifts which keys carry the head of the distribution, which is how a
+    multi-phase scenario models *drift*: same population, same skew, a
+    different hot set each phase.
+
+    Args:
+        population: Keys the stream draws from (with replacement).
+        count: Stream length.
+        skewness: Zipf skewness (0 = uniform traffic).
+        seed: Draw seed (ignored when ``rng`` is given).
+        rng: Injectable randomness shared across a scenario's draws.
+        rotate: Rotate the rank→key assignment by this many positions.
+    """
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    population = list(population)
+    if not population:
+        raise ConfigurationError("cannot draw queries from an empty population")
+    if rotate:
+        pivot = rotate % len(population)
+        population = population[pivot:] + population[:pivot]
+    weights = zipf_weights(len(population), skewness)
+    chooser = rng or random.Random(seed)
+    return chooser.choices(population, weights=weights, k=count)
+
+
+def churn_keys(
+    keys: Sequence[Key],
+    fraction: float,
+    seed: int = 1,
+    rng: Optional[random.Random] = None,
+    tag: str = "churn",
+) -> Tuple[List[Key], List[Key], List[str]]:
+    """Churn a key set: retire a fraction, mint replacements.
+
+    Returns ``(survivors, removed, added)`` — ``survivors + added`` is the
+    next phase's positive set, and ``removed`` are exactly the keys a
+    correct filter must now *reject*: queried after the churn they are
+    known negatives, the signal the key-churn scenario feeds back into
+    rebuilds.
+
+    Args:
+        keys: The current positive key set.
+        fraction: Share of keys to retire, in ``[0, 1]``.
+        seed: Selection seed (ignored when ``rng`` is given); also salts
+            the minted replacement keys.
+        rng: Injectable randomness shared across a scenario's draws.
+        tag: Prefix for minted replacement keys.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError(f"churn fraction must be in [0, 1], got {fraction}")
+    keys = list(keys)
+    retire = int(len(keys) * fraction)
+    chooser = rng or random.Random(seed)
+    retired = set(chooser.sample(range(len(keys)), retire)) if retire else set()
+    survivors = [key for index, key in enumerate(keys) if index not in retired]
+    removed = [keys[index] for index in sorted(retired)]
+    added = [
+        f"{tag}-{mix64((seed + 1) * 0x9E3779B97F4A7C15 ^ index):016x}"
+        for index in range(retire)
+    ]
+    return survivors, removed, added
+
+
+def adversarial_flood(
+    count: int,
+    seed: int = 1,
+    prefix: str = "atk",
+) -> List[str]:
+    """Mint ``count`` deterministic always-miss flood keys.
+
+    These model the adversarial traffic the paper's cost model targets: a
+    caller hammering keys that are *never* members, each miss carrying a
+    high cost.  The keys are pure mixer output — no structure for a
+    learned model and no overlap with any other generator's keys (distinct
+    prefix), so feeding them to a rebuild as known negatives is the only
+    way a backend can get ahead of them.
+    """
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    return [
+        f"{prefix}-{mix64((seed + 7) * 0xD1B54A32D192ED03 ^ index):016x}"
+        for index in range(count)
+    ]

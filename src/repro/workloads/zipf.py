@@ -9,7 +9,7 @@ procedure deterministically.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.hashing.base import Key
@@ -35,6 +35,7 @@ def assign_zipf_costs(
     skewness: float,
     seed: int = 1,
     shuffle: bool = True,
+    rng: Optional[random.Random] = None,
 ) -> Dict[Key, float]:
     """Assign Zipf-distributed costs to ``keys``.
 
@@ -44,12 +45,13 @@ def assign_zipf_costs(
         seed: Shuffle seed (the paper shuffles the generated distribution).
         shuffle: When False the highest cost goes to the first key, the second
             highest to the second key, and so on (useful in tests).
+        rng: Injectable randomness; overrides ``seed`` when given, so scenario
+            replays can thread one seeded generator through every draw.
     """
     keys = list(keys)
     if not keys:
         return {}
     weights = zipf_weights(len(keys), skewness)
     if shuffle:
-        rng = random.Random(seed)
-        rng.shuffle(weights)
+        (rng or random.Random(seed)).shuffle(weights)
     return dict(zip(keys, weights))

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -11,8 +12,12 @@ from repro.core.habf import HABF
 from repro.core.hash_expressor import HashExpressor
 from repro.core.params import HABFParams
 from repro.baselines.xor_filter import XorFilter
+from repro.errors import ConfigurationError
 from repro.hashing.base import normalize_key
 from repro.hashing.registry import GLOBAL_HASH_FAMILY
+from repro.service import codec
+from repro.service.backends import available_backends, get_backend
+from repro.service.shards import ShardedFilterStore
 from repro.workloads.zipf import zipf_weights
 
 # Text keys without surrogates so UTF-8 encoding always succeeds.
@@ -166,3 +171,85 @@ class TestZipfProperties:
     def test_weights_are_non_increasing(self, count, skew):
         weights = zipf_weights(count, skew)
         assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+
+# Every example builds (and for the learned backends, trains) real filters,
+# so the codec fuzz runs fewer examples than the cheap structural properties.
+codec_settings = settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestCodecFrameProperties:
+    """Codec frames are a fixed point of decode→re-encode for every backend.
+
+    The example-based suite (``tests/service/test_codec_backends.py``) checks
+    the same contract on curated URL-shaped datasets; here hypothesis feeds
+    arbitrary unicode key material, because byte-identity is exactly the kind
+    of invariant that breaks on the inputs nobody curated — empty strings,
+    astral-plane characters, keys that normalise to each other's prefixes.
+    Mixed-backend frames matter since adaptive migrations made them a normal
+    serving state rather than a test-only curiosity.
+    """
+
+    @staticmethod
+    def _filter_for(name, keys, negatives):
+        negatives = [key for key in negatives if key not in set(keys)]
+        if not negatives and "codec-fuzz-negative" not in keys:
+            negatives = ["codec-fuzz-negative"]  # learned backends train on both classes
+        costs = {key: 2.0 + index for index, key in enumerate(negatives[:5])}
+        policy = get_backend(name)
+        try:
+            return policy.create_filter(keys, negatives=negatives, costs=costs)
+        except ConfigurationError as exc:
+            if "numpy" in str(exc):
+                pytest.skip(f"backend {name!r} needs numpy to build")
+            raise
+
+    @pytest.mark.parametrize("name", available_backends())
+    @given(
+        keys=key_sets,
+        negatives=st.lists(key_strategy, max_size=30, unique=True),
+    )
+    @codec_settings
+    def test_every_backend_frame_survives_decode_reencode(
+        self, name, keys, negatives
+    ):
+        filt = self._filter_for(name, keys, negatives)
+        frame = codec.dumps(filt)
+        revived = codec.loads(frame)
+        assert type(revived) is type(filt)
+        assert codec.dumps(revived) == frame, (
+            f"{name}: decode→re-encode changed the frame bytes"
+        )
+        assert all(revived.contains(key) for key in keys)
+        probe = keys + negatives
+        assert [revived.contains(key) for key in probe] == [
+            filt.contains(key) for key in probe
+        ]
+
+    @given(
+        keys=st.lists(key_strategy, min_size=4, max_size=60, unique=True),
+        xor_shard=st.integers(min_value=0, max_value=2),
+        habf_shard=st.integers(min_value=0, max_value=2),
+    )
+    @codec_settings
+    def test_mixed_backend_store_frame_survives_decode_reencode(
+        self, keys, xor_shard, habf_shard
+    ):
+        store = ShardedFilterStore.build(
+            keys,
+            num_shards=3,
+            backend="bloom",
+            bits_per_key=9.0,
+            shard_backends={
+                xor_shard: ("xor", {"bits_per_key": 10.0}),
+                habf_shard: ("habf", {"bits_per_key": 10.0}),
+            },
+        )
+        frame = codec.dumps(store)
+        revived = codec.loads(frame)
+        assert codec.dumps(revived) == frame
+        assert revived.shard_backend_names == store.shard_backend_names
+        assert revived.backend_name == store.backend_name
+        assert revived.query_many(keys) == [True] * len(keys)

@@ -1,0 +1,199 @@
+"""Tests for the streaming scenario harness and the built-in library.
+
+The library tests pin the properties the benchmark's comparisons rest on:
+builders are pure functions of their seed (same seed → byte-identical
+phases), floods really are router-targeted at the shard subset they claim,
+and churn really retires keys into the query stream.  The harness tests
+replay small scenarios against real services and check the ground-truth
+accounting line by line — the numbers in ``BENCH_adaptive.json`` are only
+as trustworthy as this arithmetic.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import FprEstimator, Registry
+from repro.scenarios import (
+    Scenario,
+    ScenarioPhase,
+    adversarial_negatives_scenario,
+    builtin_scenarios,
+    cost_shift_scenario,
+    key_churn_scenario,
+    run_scenario,
+    zipf_drift_scenario,
+)
+from repro.service import MembershipService
+from repro.service.adaptive import AdaptivePolicy, BackendCandidate, BackendScorer
+from repro.service.shards import ShardRouter
+
+BUILDERS = (
+    adversarial_negatives_scenario,
+    cost_shift_scenario,
+    zipf_drift_scenario,
+    key_churn_scenario,
+)
+
+
+class TestScenarioLibrary:
+    def test_builders_are_pure_functions_of_the_seed(self):
+        for build in BUILDERS:
+            first = build(seed=5, num_shards=4, scale=0.05)
+            again = build(seed=5, num_shards=4, scale=0.05)
+            assert first == again, f"{first.name}: same seed, different scenario"
+            other = build(seed=6, num_shards=4, scale=0.05)
+            assert first != other, f"{first.name}: seed had no effect"
+
+    def test_builtin_scenarios_cover_the_four_shapes(self):
+        scenarios = builtin_scenarios(seed=3, num_shards=4, scale=0.05)
+        assert [scenario.name for scenario in scenarios] == [
+            "adversarial_negatives",
+            "cost_shift",
+            "zipf_drift",
+            "key_churn",
+        ]
+        assert all(scenario.seed == 3 for scenario in scenarios)
+        for scenario in scenarios:
+            assert scenario.phases
+            for phase in scenario.phases:
+                assert phase.keys
+                assert phase.queries
+
+    def test_flood_keys_are_router_targeted(self):
+        scenario = adversarial_negatives_scenario(seed=2, num_shards=8, scale=0.05)
+        router = ShardRouter(8, seed=0)
+        flooded = set(range(4))
+        for phase in scenario.phases:
+            assert phase.negatives
+            assert {router.shard_of(key) for key in phase.negatives} <= flooded
+            # The known flood carries the premium cost on every phase.
+            assert all(phase.costs[key] == 40.0 for key in phase.negatives)
+
+    def test_cost_shift_moves_the_cost_mass_mid_run(self):
+        scenario = cost_shift_scenario(seed=2, num_shards=8, scale=0.05)
+        router = ShardRouter(8, seed=0)
+        early, late = scenario.phases[0], scenario.phases[-1]
+        group_b = [
+            key for key in early.negatives if router.shard_of(key) >= 4
+        ]
+        assert group_b
+        assert all(early.costs[key] == 1.0 for key in group_b)
+        assert all(late.costs[key] == 32.0 for key in group_b)
+
+    def test_zipf_drift_keeps_the_working_set_but_rotates_it(self):
+        scenario = zipf_drift_scenario(seed=2, num_shards=4, scale=0.05)
+        negatives = {phase.negatives for phase in scenario.phases}
+        assert len(negatives) == 1  # same known working set every phase
+        heads = [
+            Counter(
+                key for key in phase.queries if key in set(phase.negatives)
+            ).most_common(1)[0][0]
+            for phase in scenario.phases
+        ]
+        assert len(set(heads)) > 1  # ...but the hot head moves
+
+    def test_churn_retires_keys_into_the_query_stream(self):
+        scenario = key_churn_scenario(seed=2, num_shards=4, scale=0.1)
+        first, second = scenario.phases[0], scenario.phases[1]
+        assert first.negatives == ()
+        retired = set(second.negatives)
+        assert retired
+        assert retired <= set(first.keys)
+        assert retired.isdisjoint(second.keys)
+        assert retired & set(second.queries)  # stale callers keep asking
+        assert all(second.costs[key] == 20.0 for key in retired)
+
+
+class TestHarnessAccounting:
+    def test_empty_scenario_is_rejected(self):
+        service = MembershipService(
+            backend="bloom", num_shards=2, bits_per_key=10.0, registry=Registry()
+        )
+        empty = Scenario(name="void", seed=1, phases=())
+        with pytest.raises(ConfigurationError, match="no phases"):
+            run_scenario(service, empty)
+
+    def test_ground_truth_accounting_is_exact(self):
+        keys = tuple(f"member-{i:04d}" for i in range(400))
+        negatives = tuple(f"absent-{i:04d}" for i in range(120))
+        costs = {key: 5.0 for key in negatives}
+        scenario = Scenario(
+            name="tiny",
+            seed=9,
+            phases=(
+                ScenarioPhase(
+                    name="p0",
+                    keys=keys,
+                    negatives=negatives,
+                    costs=costs,
+                    queries=tuple(keys[:200]) + negatives,
+                ),
+                ScenarioPhase(name="p1", keys=keys, queries=tuple(keys[:60])),
+            ),
+        )
+        service = MembershipService(
+            backend="bloom", num_shards=2, bits_per_key=12.0, registry=Registry()
+        )
+        report = run_scenario(service, scenario, clients=3, chunk=16)
+
+        assert (report.scenario, report.seed) == ("tiny", 9)
+        assert [phase.name for phase in report.phases] == ["p0", "p1"]
+        first = report.phases[0]
+        assert first.queries == 320
+        assert first.negative_queries == 120
+        assert first.negative_cost == 600.0
+        assert first.fp_cost == first.false_positives * 5.0
+        assert first.fpr_cost == first.fp_cost / first.negative_cost
+        # Positives-only phase: no negative cost, no FPR-cost contribution.
+        second = report.phases[1]
+        assert (second.negative_queries, second.negative_cost) == (0, 0.0)
+        # The filter contract: zero false negatives, every phase.
+        assert report.false_negatives == 0
+        assert report.throughput_qps > 0
+        # One rebuild per phase boundary; no window straddles one.
+        assert first.generations == [1]
+        assert second.generations == [2]
+        assert report.migrations == 0
+        assert report.shard_backends == ["bloom", "bloom"]
+        json.dumps(report.to_dict())  # BENCH-ready: plain JSON throughout
+
+    def test_replay_works_with_an_adaptive_service(self):
+        """A small end-to-end replay: the adaptive service must migrate the
+        flooded shards to a negative-aware backend mid-scenario and finish
+        with zero false negatives.  Everything is seeded, so the migration
+        decision is deterministic."""
+        scenario = adversarial_negatives_scenario(seed=1, num_shards=4, scale=0.4)
+        service = MembershipService(
+            backend="xor",
+            num_shards=4,
+            bits_per_key=10.0,
+            registry=Registry(),
+            fpr_estimator=FprEstimator(sample_rate=1.0, rng=random.Random(3)),
+            adaptive_policy=AdaptivePolicy(
+                [
+                    BackendCandidate("bloom", {"bits_per_key": 10.0}),
+                    BackendCandidate("xor", {"bits_per_key": 10.0}),
+                    BackendCandidate("habf", {"bits_per_key": 10.0}),
+                ],
+                scorer=BackendScorer(min_sampled=60),
+            ),
+        )
+        report = run_scenario(service, scenario, clients=4, chunk=32)
+        assert report.false_negatives == 0
+        assert report.migrations > 0
+        # Migrations only ever target the flooded half of the shard space.
+        migrated = {shard for phase in report.phases for shard in phase.migrated}
+        assert migrated <= {0, 1}
+        assert "habf" in report.shard_backends[:2]
+        assert report.shard_backends[2:] == ["xor", "xor"]
+        # Generations stay monotone across the phases.
+        flattened = [
+            generation for phase in report.phases for generation in phase.generations
+        ]
+        assert flattened == sorted(flattened)

@@ -252,6 +252,104 @@ def test_snapshot_restore_rebuilds_fully_once_then_incrementally(tmp_path, datas
     assert stats.shards_skipped == NUM_SHARDS
 
 
+# --------------------------------------------------------------------- #
+# Per-shard backend overrides (what an adaptive migration asks the store for)
+# --------------------------------------------------------------------- #
+def test_shard_backend_override_dirties_only_that_shard(dataset):
+    previous = ShardedFilterStore.build(
+        dataset.positives, num_shards=NUM_SHARDS, backend="bloom", bits_per_key=10.0
+    )
+    store, rebuilt, skipped = ShardedFilterStore.rebuild_from(
+        previous,
+        dataset.positives,
+        negatives=dataset.negatives,
+        backend="bloom",
+        shard_backends={5: ("habf", {"bits_per_key": 10.0})},
+        bits_per_key=10.0,
+    )
+    assert rebuilt == [5]
+    assert sorted(rebuilt + skipped) == list(range(NUM_SHARDS))
+    assert store.backend_name == "mixed"
+    assert store.shard_backend_names[5] == "habf"
+    assert [name for i, name in enumerate(store.shard_backend_names) if i != 5] == [
+        "bloom"
+    ] * (NUM_SHARDS - 1)
+    for index in range(NUM_SHARDS):
+        if index != 5:
+            assert store.filters[index] is previous.filters[index]
+    assert all(store.query_many(dataset.positives))
+
+
+def test_repeated_shard_backend_assignment_is_clean(dataset):
+    """An unchanged assignment must not rebuild: migrations are sticky."""
+    first = ShardedFilterStore.build(
+        dataset.positives,
+        num_shards=NUM_SHARDS,
+        backend="bloom",
+        shard_backends={5: ("habf", {"bits_per_key": 10.0})},
+        bits_per_key=10.0,
+    )
+    store, rebuilt, skipped = ShardedFilterStore.rebuild_from(
+        first,
+        dataset.positives,
+        backend="bloom",
+        shard_backends={5: ("habf", {"bits_per_key": 10.0})},
+        bits_per_key=10.0,
+    )
+    assert rebuilt == []
+    assert skipped == list(range(NUM_SHARDS))
+    assert all(
+        store.filters[index] is first.filters[index] for index in range(NUM_SHARDS)
+    )
+
+
+def test_dropping_shard_backend_assignment_reverts_the_shard(dataset):
+    mixed = ShardedFilterStore.build(
+        dataset.positives,
+        num_shards=NUM_SHARDS,
+        backend="bloom",
+        shard_backends={5: ("habf", {"bits_per_key": 10.0})},
+        bits_per_key=10.0,
+    )
+    store, rebuilt, _ = ShardedFilterStore.rebuild_from(
+        mixed, dataset.positives, backend="bloom", bits_per_key=10.0
+    )
+    assert rebuilt == [5]  # same keys, but the shard's backend changed back
+    assert store.backend_name == "bloom"
+    assert store.shard_backend_names == ["bloom"] * NUM_SHARDS
+    assert all(store.query_many(dataset.positives))
+
+
+def test_shard_backend_override_rejects_unknown_shards(dataset):
+    with pytest.raises(ConfigurationError, match="shard_backends"):
+        ShardedFilterStore.build(
+            dataset.positives,
+            num_shards=4,
+            backend="bloom",
+            shard_backends={7: "habf"},
+        )
+
+
+def test_mixed_store_survives_service_snapshot_restore(tmp_path, dataset):
+    service = MembershipService(backend="bloom", num_shards=4, bits_per_key=10.0)
+    mixed = ShardedFilterStore.build(
+        dataset.positives,
+        negatives=dataset.negatives,
+        num_shards=4,
+        backend="bloom",
+        shard_backends={2: ("habf", {"bits_per_key": 10.0})},
+        bits_per_key=10.0,
+    )
+    service.install_snapshot(mixed)
+    path = tmp_path / "mixed.snap"
+    service.save_snapshot(path)
+    revived = MembershipService.from_snapshot(path, backend="bloom", bits_per_key=10.0)
+    store = revived.snapshot.store
+    assert store.backend_name == "mixed"
+    assert store.shard_backend_names == mixed.shard_backend_names
+    assert all(revived.query_many(dataset.positives))
+
+
 def test_rebuild_is_full_when_backend_kwargs_change(dataset):
     """Clean shards built under other parameters must not be reused."""
     service = MembershipService(backend="bloom", num_shards=4, bits_per_key=8.0)

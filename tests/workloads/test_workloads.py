@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import random
+from collections import Counter
+
 import pytest
 
 from repro.errors import ConfigurationError, DatasetError
 from repro.workloads.dataset import MembershipDataset
+from repro.workloads.drift import adversarial_flood, churn_keys, zipf_query_stream
 from repro.workloads.shalla import generate_shalla_like
 from repro.workloads.ycsb import generate_ycsb_like
 from repro.workloads.zipf import assign_zipf_costs, zipf_weights
@@ -118,6 +122,93 @@ class TestZipf:
 
     def test_empty_keys(self):
         assert assign_zipf_costs([], 1.0) == {}
+
+
+class TestZipfQueryStream:
+    POPULATION = [f"key-{i:03d}" for i in range(40)]
+
+    def test_seed_determinism(self):
+        first = zipf_query_stream(self.POPULATION, 200, skewness=1.0, seed=4)
+        again = zipf_query_stream(self.POPULATION, 200, skewness=1.0, seed=4)
+        other = zipf_query_stream(self.POPULATION, 200, skewness=1.0, seed=5)
+        assert first == again
+        assert first != other
+        assert len(first) == 200
+        assert set(first) <= set(self.POPULATION)
+
+    def test_injected_rng_overrides_seed(self):
+        first = zipf_query_stream(self.POPULATION, 100, rng=random.Random(9), seed=1)
+        again = zipf_query_stream(self.POPULATION, 100, rng=random.Random(9), seed=2)
+        assert first == again
+
+    def test_rotate_shifts_the_hot_head(self):
+        base = zipf_query_stream(self.POPULATION, 4000, skewness=1.5, seed=3)
+        rotated = zipf_query_stream(
+            self.POPULATION, 4000, skewness=1.5, seed=3, rotate=10
+        )
+        assert Counter(base).most_common(1)[0][0] == "key-000"
+        assert Counter(rotated).most_common(1)[0][0] == "key-010"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf_query_stream(self.POPULATION, -1)
+        with pytest.raises(ConfigurationError):
+            zipf_query_stream([], 10)
+
+
+class TestChurnKeys:
+    def test_partition_accounting(self):
+        keys = [f"key-{i:03d}" for i in range(100)]
+        survivors, removed, added = churn_keys(keys, 0.3, seed=2)
+        assert (len(survivors), len(removed), len(added)) == (70, 30, 30)
+        assert set(survivors) | set(removed) == set(keys)
+        assert set(survivors).isdisjoint(removed)
+        assert not set(added) & set(keys)
+
+    def test_seed_determinism(self):
+        keys = [f"key-{i:03d}" for i in range(100)]
+        assert churn_keys(keys, 0.3, seed=2) == churn_keys(keys, 0.3, seed=2)
+        assert churn_keys(keys, 0.3, seed=2) != churn_keys(keys, 0.3, seed=3)
+
+    def test_injected_rng_drives_selection(self):
+        keys = [f"key-{i:03d}" for i in range(50)]
+        first = churn_keys(keys, 0.5, rng=random.Random(7), seed=1)
+        again = churn_keys(keys, 0.5, rng=random.Random(7), seed=1)
+        assert first == again
+
+    def test_edge_fractions(self):
+        keys = ["a", "b", "c"]
+        survivors, removed, added = churn_keys(keys, 0.0, seed=1)
+        assert (survivors, removed, added) == (keys, [], [])
+        survivors, removed, added = churn_keys(keys, 1.0, seed=1)
+        assert (survivors, sorted(removed)) == ([], keys)
+        assert len(added) == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            churn_keys(["a"], 1.5)
+        with pytest.raises(ConfigurationError):
+            churn_keys(["a"], -0.1)
+
+
+class TestAdversarialFlood:
+    def test_seed_determinism_and_shape(self):
+        first = adversarial_flood(100, seed=5)
+        assert first == adversarial_flood(100, seed=5)
+        assert first != adversarial_flood(100, seed=6)
+        assert len(set(first)) == 100
+        assert all(key.startswith("atk-") for key in first)
+
+    def test_prefixes_partition_the_keyspace(self):
+        flood = adversarial_flood(100, seed=5)
+        misses = adversarial_flood(100, seed=5, prefix="miss")
+        assert all(key.startswith("miss-") for key in misses)
+        assert set(flood).isdisjoint(misses)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            adversarial_flood(-1)
+        assert adversarial_flood(0) == []
 
 
 class TestMembershipDataset:
