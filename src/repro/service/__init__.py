@@ -31,6 +31,12 @@ blacklist-gateway / LSM read-path setting the paper motivates:
   worker processes that decode it zero-copy and answer micro-batch windows
   (pipe dispatch or ``SO_REUSEPORT`` direct accept), with
   generation-consistent fleet-wide rebuilds.
+* :mod:`repro.service.diskstore` — the disk tier: :class:`DiskShardStore`
+  persists every shard's codec frame in a page-oriented file behind an
+  atomically-renamed directory, serves cold shards zero-copy off an
+  ``mmap`` and hot shards from a byte-budgeted LRU, and plugs into
+  ``MembershipService(store_path=...)`` / ``ReplicaPool(store_path=...)``
+  so key sets larger than RAM serve with bounded resident memory.
 * :mod:`repro.service.stats` — the stats dataclasses shared by the above
   (since the telemetry layer, views over :mod:`repro.obs` registry
   instruments; ``GET /metrics`` and the ``METRICS`` line command expose the
@@ -66,6 +72,7 @@ from repro.service.codec import (
     loads,
     loads_as,
 )
+from repro.service.diskstore import DEFAULT_PAGE_SIZE, DirectoryEntry, DiskShardStore
 from repro.service.multiproc import ReplicaPool, SharedFrameArena
 from repro.service.server import BatchAnswer, MembershipService, Snapshot
 from repro.service.shards import EmptyShardFilter, ShardRouter, ShardedFilterStore
@@ -91,6 +98,9 @@ __all__ = [
     "AsyncMembershipServer",
     "ReplicaPool",
     "SharedFrameArena",
+    "DiskShardStore",
+    "DirectoryEntry",
+    "DEFAULT_PAGE_SIZE",
     "MicroBatchStats",
     "ShardedFilterStore",
     "ShardRouter",

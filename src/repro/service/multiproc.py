@@ -383,9 +383,12 @@ def _replica_main(conn, index: int, max_batch_size: int) -> None:
     overtake or interleave with a ``("query", ...)`` window, so every window
     is answered entirely from one installed snapshot.
     """
+    from repro.service.diskstore import DiskShardStore
+
     registry = Registry()
     service = MembershipService(registry=registry, max_batch_size=max_batch_size)
     arena: Optional[SharedFrameArena] = None
+    disk: Optional[DiskShardStore] = None
     runner: Optional[_ReuseportRunner] = None
     while True:
         try:
@@ -417,6 +420,31 @@ def _replica_main(conn, index: int, max_batch_size: int) -> None:
                     gc.collect()
                     arena.dispose()
                 arena = new_arena
+                conn.send(("loaded", message[2]))
+            elif kind == "load_disk":
+                # Disk-tier roll: every replica maps the same committed page
+                # file (cleanup=False — the builder owns orphan sweeping),
+                # so the kernel page cache is the fleet's shared copy.
+                new_disk = DiskShardStore.open(
+                    message[1],
+                    cache_budget=message[3],
+                    registry=registry,
+                    cleanup=False,
+                )
+                if new_disk.generation != message[2]:
+                    generation = new_disk.generation
+                    new_disk.close()
+                    raise ServiceError(
+                        f"disk store serves generation {generation}, "
+                        f"expected {message[2]}"
+                    )
+                service.install_snapshot(
+                    new_disk.serving_store(), generation=message[2]
+                )
+                if disk is not None:
+                    gc.collect()
+                    disk.close()
+                disk = new_disk
                 conn.send(("loaded", message[2]))
             elif kind == "stats":
                 stats = service.stats()
@@ -458,6 +486,8 @@ def _replica_main(conn, index: int, max_batch_size: int) -> None:
         gc.collect()
         if arena is not None:
             arena.dispose()
+        if disk is not None:
+            disk.close()
     with contextlib.suppress(Exception):
         conn.close()
 
@@ -545,6 +575,13 @@ class ReplicaPool:
             :class:`~repro.service.adaptive.AdaptivePolicy` on the builder;
             adaptive migrations then ride :meth:`rebuild`'s drain-then-roll
             swap, keeping the fleet's generation stream atomic.
+        store_path: When set, generations persist through the builder's
+            :class:`~repro.service.diskstore.DiskShardStore` and replicas
+            serve by mapping the *same* page file instead of attaching a
+            shared-memory arena — the kernel page cache becomes the fleet's
+            one copy of the filter bytes, and it survives restarts.
+        cache_budget: Per-replica byte budget for decoded hot shards in
+            disk mode (``None`` = unbounded, ``0`` = always cold).
         backend_kwargs: Forwarded to the backend factory.
     """
 
@@ -562,11 +599,15 @@ class ReplicaPool:
         start_method: Optional[str] = None,
         fpr_estimator: Optional[FprEstimator] = None,
         adaptive_policy: Optional[AdaptivePolicy] = None,
+        store_path=None,
+        cache_budget: Optional[int] = None,
         **backend_kwargs,
     ) -> None:
         if replicas < 1:
             raise ServiceError("a replica pool needs at least 1 replica")
         self._num_replicas = replicas
+        self._store_path = store_path
+        self._cache_budget = cache_budget
         self._max_batch_size = max_batch_size
         self._request_timeout = request_timeout
         self._load_timeout = load_timeout
@@ -581,6 +622,8 @@ class ReplicaPool:
             registry=self._registry,
             fpr_estimator=fpr_estimator,
             adaptive_policy=adaptive_policy,
+            store_path=store_path,
+            cache_budget=cache_budget,
             **backend_kwargs,
         )
         self._replicas: List[_Replica] = []
@@ -785,8 +828,22 @@ class ReplicaPool:
                 incremental=incremental,
                 workers=workers,
             )
-            store = self._builder.snapshot.store
-            arena = SharedFrameArena.publish(store, generation)
+            if self._store_path is not None:
+                # Disk tier: the builder's rebuild already committed this
+                # generation durably; replicas roll by reopening the path
+                # (their own mmap of the same pages) instead of attaching a
+                # shared-memory arena.
+                load_command = (
+                    "load_disk",
+                    str(self._store_path),
+                    generation,
+                    self._cache_budget,
+                )
+                arena = None
+            else:
+                store = self._builder.snapshot.store
+                arena = SharedFrameArena.publish(store, generation)
+                load_command = ("load", arena.name, generation)
             try:
                 if not self._replicas:
                     self._spawn()
@@ -795,7 +852,7 @@ class ReplicaPool:
                     held = self._acquire_all()
                 try:
                     for replica in held:
-                        replica.conn.send(("load", arena.name, generation))
+                        replica.conn.send(load_command)
                     for replica in held:
                         _expect(
                             replica.conn,
@@ -807,7 +864,8 @@ class ReplicaPool:
                     for replica in held:
                         self._free.put(replica)
             except Exception:
-                arena.dispose()
+                if arena is not None:
+                    arena.dispose()
                 raise
             previous, self._arena = self._arena, arena
             if previous is not None:
@@ -847,6 +905,9 @@ class ReplicaPool:
         if self._arena is not None:
             self._arena.dispose()
             self._arena = None
+        disk = self._builder.disk_store
+        if disk is not None:
+            disk.close()
 
     # ------------------------------------------------------------------ #
     # Query dispatch (thread-safe; called from the batcher's executor)
@@ -1007,8 +1068,14 @@ class ReplicaPool:
 
     @property
     def arena(self) -> Optional[SharedFrameArena]:
-        """The currently published arena (``None`` before the first load)."""
+        """The currently published arena (``None`` before the first load,
+        and always ``None`` in disk mode)."""
         return self._arena
+
+    @property
+    def disk_store(self):
+        """The builder's disk tier, or ``None`` (shared-memory mode)."""
+        return self._builder.disk_store
 
     @property
     def replica_pids(self) -> List[int]:

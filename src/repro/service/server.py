@@ -42,6 +42,7 @@ from repro.obs import (
 from repro.service import codec
 from repro.service.adaptive import AdaptivePolicy, MigrationPlan
 from repro.service.backends import BackendSpec
+from repro.service.diskstore import DiskShardStore
 from repro.service.shards import ShardedFilterStore
 from repro.service.stats import AdaptiveStats, LatencyWindow, ServiceStats
 
@@ -139,6 +140,19 @@ class MembershipService:
             winning candidate backend as part of the same atomic generation
             swap.  Pair it with ``fpr_estimator`` — without live evidence
             the policy never migrates anything.
+        store_path: When set, generations persist to a
+            :class:`~repro.service.diskstore.DiskShardStore` at this path
+            and queries are served from its ``mmap`` through a
+            byte-budgeted LRU of decoded shards (the disk tier).  Each
+            rebuild commits atomically — incremental rebuilds append only
+            the dirty shards' frames — and the snapshot swap happens only
+            after the commit, so the on-disk store and the serving
+            generation never diverge.  An existing store at the path is
+            reopened by the first :meth:`rebuild` (or explicitly via
+            :meth:`open_store`) and served as the pre-rebuild generation.
+        cache_budget: Byte budget for the disk tier's decoded-shard LRU
+            (``None`` = unbounded, ``0`` = always cold).  Only valid with
+            ``store_path``.
         backend_kwargs: Forwarded to the backend factory when ``backend`` is
             a name (e.g. ``bits_per_key=12.0``).
     """
@@ -154,12 +168,16 @@ class MembershipService:
         registry: Optional[Registry] = None,
         fpr_estimator: Optional[FprEstimator] = None,
         adaptive_policy: Optional[AdaptivePolicy] = None,
+        store_path=None,
+        cache_budget: Optional[int] = None,
         **backend_kwargs,
     ) -> None:
         if num_shards < 1:
             raise ServiceError("num_shards must be at least 1")
         if max_batch_size < 1:
             raise ServiceError("max_batch_size must be at least 1")
+        if cache_budget is not None and store_path is None:
+            raise ServiceError("cache_budget requires store_path")
         self._backend = backend
         self._backend_kwargs = dict(backend_kwargs)
         self._num_shards = num_shards
@@ -174,6 +192,9 @@ class MembershipService:
         self._obs_label = f"svc-{next(_SERVICE_IDS)}"
         self._fpr = fpr_estimator
         self._adaptive = adaptive_policy
+        self._store_path = store_path
+        self._cache_budget = cache_budget
+        self._disk: Optional[DiskShardStore] = None
         self._last_plan: Optional[MigrationPlan] = None
         self._started = time.monotonic()
         self._make_instruments()
@@ -377,6 +398,16 @@ class MembershipService:
         negatives = list(negatives)
         if workers is None:
             workers = self._build_workers
+        if (
+            self._store_path is not None
+            and self._disk is None
+            and self._snapshot is None
+            and DiskShardStore.exists(self._store_path)
+        ):
+            # A previous process committed generations here; serve them as
+            # the pre-rebuild snapshot so the generation counter continues
+            # (the rebuild itself is full — build params are not persisted).
+            self.open_store()
         previous = self._snapshot
         plan: Optional[MigrationPlan] = None
         policy = self._adaptive
@@ -404,6 +435,22 @@ class MembershipService:
         with self._swap_lock:
             current = self._snapshot
             generation = current.generation + 1 if current else 1
+            if self._store_path is not None:
+                # Durability before visibility: the constructed store is
+                # committed (incrementally — only the rebuilt shards'
+                # frames are appended) and the swap serves the committed
+                # epoch's lazy view, never the in-RAM construction.
+                if self._disk is None:
+                    self._disk = DiskShardStore.create(
+                        self._store_path,
+                        store,
+                        generation,
+                        cache_budget=self._cache_budget,
+                        registry=self._registry,
+                    )
+                else:
+                    self._disk.commit(store, generation, rebuilt_shards=rebuilt)
+                store = self._disk.serving_store()
             self._snapshot = Snapshot(
                 generation=generation,
                 store=store,
@@ -438,6 +485,52 @@ class MembershipService:
                 estimator.reset_shards(plan.migrations)
         return generation
 
+    def open_store(self) -> int:
+        """Open the existing on-disk store and serve its committed generation.
+
+        Requires ``store_path``; the snapshot generation becomes the disk
+        store's committed generation (it must move the service forward).
+        Returns that generation.  :meth:`rebuild` calls this automatically
+        when it finds a committed store at a fresh service's path.
+        """
+        if self._store_path is None:
+            raise ServiceError("open_store() requires store_path")
+        disk = DiskShardStore.open(
+            self._store_path,
+            cache_budget=self._cache_budget,
+            registry=self._registry,
+        )
+        store = disk.serving_store()
+        with self._swap_lock:
+            previous = self._snapshot
+            generation = disk.generation
+            if previous is not None and generation <= previous.generation:
+                disk.close()
+                raise ServiceError(
+                    f"on-disk generation {generation} does not move the "
+                    f"service forward (serving {previous.generation})"
+                )
+            old_disk, self._disk = self._disk, disk
+            self._num_shards = store.num_shards
+            self._router_seed = store.router_seed
+            self._snapshot = Snapshot(
+                generation=generation,
+                store=store,
+                num_keys=store.num_keys(),
+            )
+            if previous is not None:
+                self._rebuilds.inc()
+            self._generation_gauge.set(generation)
+            self._keys_gauge.set(store.num_keys())
+        if old_disk is not None and old_disk is not disk:
+            old_disk.close()
+        return generation
+
+    @property
+    def disk_store(self) -> Optional[DiskShardStore]:
+        """The disk tier backing this service, or ``None`` (RAM mode)."""
+        return self._disk
+
     def install_snapshot(
         self,
         store: ShardedFilterStore,
@@ -466,6 +559,23 @@ class MembershipService:
                     f"snapshot generation must move forward: {generation} <= "
                     f"current {previous.generation}"
                 )
+            if self._store_path is not None:
+                # Same durability contract as rebuild(): persist first (a
+                # full commit — externally built stores carry no dirty-shard
+                # provenance), then serve the committed epoch's view.
+                if self._disk is None:
+                    self._disk = DiskShardStore.create(
+                        self._store_path,
+                        store,
+                        generation,
+                        cache_budget=self._cache_budget,
+                        registry=self._registry,
+                    )
+                else:
+                    self._disk.commit(store, generation)
+                if num_keys is None:
+                    num_keys = store.num_keys()
+                store = self._disk.serving_store()
             self._num_shards = store.num_shards
             self._router_seed = store.router_seed
             self._snapshot = Snapshot(
@@ -806,8 +916,16 @@ class MembershipService:
         return families
 
     def save_snapshot(self, path) -> int:
-        """Serialize the serving store to ``path``; returns bytes written."""
-        return codec.dump(self._serving_snapshot().store, path)
+        """Serialize the serving store to ``path``; returns bytes written.
+
+        In disk mode the lazy epoch view cannot cross the codec; the disk
+        store materializes every shard into plain filters first, so the
+        written frame is identical to what a RAM-mode service would save.
+        """
+        store = self._serving_snapshot().store
+        if self._disk is not None:
+            store = self._disk.materialize()
+        return codec.dump(store, path)
 
     @classmethod
     def from_snapshot(

@@ -1,0 +1,122 @@
+"""Corruption fuzz for the disk store: flipped bytes never lie, never hang.
+
+Hypothesis drives random byte flips into both persisted artifacts — the
+DIRECTORY record and the page file — and the property is the whole safety
+contract in one sentence: opening and querying a damaged store either
+raises a typed :class:`CodecError`/:class:`ServiceError` or answers
+*exactly* like the pristine store.
+
+There is no third outcome.  A flip in CRC-covered bytes (the directory
+payload, any frame) must surface as a typed error before a verdict is
+produced from garbage; a flip in dead bytes (page padding, the unused tail
+the directory does not reference) must change nothing at all.  Silently
+different verdicts — in particular a false negative on a positive key —
+fail the property, and because every parse is length-checked before it is
+trusted, the check terminates on every input (Hypothesis' deadline would
+flag a hang as a failing example).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis", reason="corruption fuzz needs hypothesis")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError, ServiceError
+from repro.obs import Registry
+from repro.service.diskstore import DIRECTORY_NAME, DiskShardStore
+from repro.service.shards import ShardedFilterStore
+from repro.workloads.shalla import generate_shalla_like
+
+PAGE = 256
+
+fuzz_settings = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+
+
+@pytest.fixture(scope="module")
+def pristine(tmp_path_factory):
+    """A committed store plus its baseline verdicts and raw file bytes."""
+    data = generate_shalla_like(num_positives=250, num_negatives=200, seed=53)
+    store = ShardedFilterStore.build(
+        data.positives, negatives=data.negatives, num_shards=3, backend="bloom-dh"
+    )
+    path = tmp_path_factory.mktemp("fuzz") / "store"
+    probe = data.positives + data.negatives + [f"fuzz-{i}" for i in range(150)]
+    with DiskShardStore.create(
+        path, store, page_size=PAGE, registry=Registry()
+    ) as disk:
+        baseline = disk.serving_store().query_many(probe)
+    files = {
+        DIRECTORY_NAME: (path / DIRECTORY_NAME).read_bytes(),
+        "pages": next(path.glob("frames-*.pages")).read_bytes(),
+    }
+    return path, files, probe, baseline, data.positives
+
+
+def _corrupt(path, files, target, flips):
+    """Restore both pristine files, then apply ``flips`` to ``target``."""
+    pages_name = next(
+        name for name in (p.name for p in path.glob("frames-*.pages"))
+    )
+    (path / DIRECTORY_NAME).write_bytes(files[DIRECTORY_NAME])
+    (path / pages_name).write_bytes(files["pages"])
+    victim = path / (DIRECTORY_NAME if target == "directory" else pages_name)
+    blob = bytearray(files[DIRECTORY_NAME] if target == "directory" else files["pages"])
+    changed = False
+    for position, value in flips:
+        index = position % len(blob)
+        if blob[index] != value:
+            blob[index] = value
+            changed = True
+    victim.write_bytes(bytes(blob))
+    return changed
+
+
+@given(
+    target=st.sampled_from(["directory", "pages"]),
+    flips=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1 << 24),
+            st.integers(min_value=0, max_value=255),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+)
+@fuzz_settings
+def test_flipped_bytes_fail_typed_or_change_nothing(pristine, target, flips):
+    path, files, probe, baseline, positives = pristine
+    changed = _corrupt(path, files, target, flips)
+    try:
+        with DiskShardStore.open(
+            path, registry=Registry(), cleanup=False
+        ) as disk:
+            verdicts = disk.serving_store().query_many(probe)
+            disk.verify()
+    except (CodecError, ServiceError):
+        return  # typed refusal is a correct outcome
+    # the store answered: it must have answered exactly like the pristine
+    # one — a corrupted store may refuse, it may survive (flip landed in
+    # padding / dead bytes / was a no-op), but it may never lie
+    assert verdicts == baseline, (
+        f"corruption in {target} changed verdicts without raising "
+        f"(flips={flips}, changed={changed})"
+    )
+    positive_verdicts = verdicts[: len(positives)]
+    assert all(positive_verdicts), "corruption introduced a false negative"
+
+
+def test_pristine_round_trip_sanity(pristine):
+    """The fuzz harness itself: restoring with zero flips reproduces baseline."""
+    path, files, probe, baseline, _ = pristine
+    assert _corrupt(path, files, "pages", [(0, files["pages"][0])]) is False
+    with DiskShardStore.open(path, registry=Registry(), cleanup=False) as disk:
+        assert disk.serving_store().query_many(probe) == baseline
+        assert disk.verify() == 3

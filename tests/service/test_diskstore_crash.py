@@ -1,0 +1,269 @@
+"""Crash-safety battery for the disk-backed shard store.
+
+The commit protocol claims: *a crash at any instant leaves either the old
+directory or the new one — never a torn state*.  This file makes the claim
+empirical.  For every named fault point inside ``commit()`` a forked child
+installs a ``_FAULT_HOOK`` that SIGKILLs itself mid-commit; the parent then
+reopens the store directory the corpse left behind and asserts
+
+* the directory decodes (no torn commit point),
+* the committed generation is exactly the one the protocol promises for
+  that point (everything before the atomic rename → the old generation;
+  the rename and after → the new one),
+* ``verify()`` scrubs clean, and
+* verdicts are bit-for-bit the surviving generation's — zero wrong
+  verdicts, zero false negatives.
+
+Beyond the SIGKILL matrix: truncated and partially-overwritten page files
+must fail with a typed :class:`CodecError` (open-time for truncation,
+read-time for a torn frame — never a silent wrong answer), leftovers of an
+interrupted commit are swept by the next owning open, and an in-process
+commit failure leaves the store serving the previous epoch.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.errors import CodecError
+from repro.obs import Registry
+from repro.service import diskstore
+from repro.service.diskstore import DIRECTORY_NAME, DiskShardStore, _Directory
+from repro.service.shards import ShardedFilterStore
+from repro.workloads.shalla import generate_shalla_like
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="crash battery needs os.fork"
+)
+
+PAGE = 256
+
+#: Every named point inside the commit protocol, in execution order.
+FAULT_POINTS = (
+    "pages-appended",
+    "pages-synced",
+    "directory-written",
+    "directory-renamed",
+    "before-cleanup",
+)
+
+#: Points strictly before the atomic ``os.replace`` — a kill there must
+#: leave the *old* generation ruling.  From the rename on, the new
+#: generation is durable.
+DIES_AT_OLD = {"pages-appended", "pages-synced", "directory-written"}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_shalla_like(num_positives=400, num_negatives=300, seed=41)
+
+
+@pytest.fixture(scope="module")
+def gen1_store(dataset):
+    return ShardedFilterStore.build(
+        dataset.positives,
+        negatives=dataset.negatives,
+        num_shards=4,
+        backend="bloom-dh",
+    )
+
+
+def _gen2_keys(dataset):
+    return dataset.positives + ["crash-key-a", "crash-key-b"]
+
+
+def _successor(serving, dataset):
+    """The deterministic generation-2 store (same in parent and child)."""
+    return ShardedFilterStore.rebuild_from(
+        serving,
+        _gen2_keys(dataset),
+        negatives=dataset.negatives,
+        backend="bloom-dh",
+    )
+
+
+def _gen2_full_build(dataset):
+    """Generation 2 built from scratch — full commits serialize every
+    shard, so the store must hold real filters, not the serving view's
+    lazy proxies."""
+    return ShardedFilterStore.build(
+        _gen2_keys(dataset),
+        negatives=dataset.negatives,
+        num_shards=4,
+        backend="bloom-dh",
+    )
+
+
+def _kill_hook(point):
+    def hook(reached):
+        if reached == point:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    return hook
+
+
+def _commit_in_doomed_child(path, dataset, point, incremental):
+    """Fork; the child commits generation 2 and SIGKILLs itself at ``point``.
+
+    Returns after asserting the child did die from the injected SIGKILL
+    (any other exit means the fault point was never reached).
+    """
+    pid = os.fork()
+    if pid == 0:
+        # Child: never raise back into the pytest process — _exit on any
+        # path the SIGKILL does not cover.
+        try:
+            disk = DiskShardStore.open(path, registry=Registry())
+            if incremental:
+                successor, rebuilt, _ = _successor(disk.serving_store(), dataset)
+            else:
+                successor, rebuilt = _gen2_full_build(dataset), None
+            diskstore._FAULT_HOOK = _kill_hook(point)
+            disk.commit(successor, 2, rebuilt_shards=rebuilt)
+            os._exit(17)  # fault point never fired
+        except BaseException:
+            os._exit(18)
+    _, status = os.waitpid(pid, 0)
+    assert os.WIFSIGNALED(status) and os.WTERMSIG(status) == signal.SIGKILL, (
+        f"child survived to status {status!r}; fault {point!r} never fired"
+    )
+
+
+@pytest.mark.parametrize("incremental", [False, True], ids=["full", "incremental"])
+@pytest.mark.parametrize("point", FAULT_POINTS)
+def test_sigkill_mid_commit_leaves_a_whole_generation(
+    tmp_path, dataset, gen1_store, point, incremental
+):
+    path = tmp_path / "store"
+    DiskShardStore.create(
+        path, gen1_store, page_size=PAGE, registry=Registry()
+    ).close()
+
+    probe = _gen2_keys(dataset) + dataset.negatives
+    expected = {1: gen1_store.query_many(probe)}
+    if incremental:
+        gen2_store, rebuilt, _ = _successor(gen1_store, dataset)
+        if not 0 < len(rebuilt) < gen1_store.num_shards:
+            pytest.skip("fixture no longer dirties a strict subset of shards")
+    else:
+        gen2_store = _gen2_full_build(dataset)
+    expected[2] = gen2_store.query_many(probe)
+
+    _commit_in_doomed_child(path, dataset, point, incremental)
+
+    with DiskShardStore.open(path, registry=Registry()) as survivor:
+        generation = survivor.generation
+        if point in DIES_AT_OLD:
+            assert generation == 1, f"{point}: pre-rename kill must keep gen 1"
+        else:
+            assert generation == 2, f"{point}: post-rename kill must keep gen 2"
+        assert survivor.verify() == gen1_store.num_shards
+        assert survivor.serving_store().query_many(probe) == expected[generation]
+        # zero false negatives for the surviving generation's key set
+        keys = dataset.positives if generation == 1 else _gen2_keys(dataset)
+        assert all(survivor.serving_store().query(key) for key in keys)
+        # the sweep removed every remnant of the doomed commit
+        leftovers = sorted(p.name for p in path.iterdir())
+        assert "DIRECTORY.tmp" not in leftovers
+        assert leftovers == [
+            DIRECTORY_NAME,
+            survivor.pages_file.name,
+        ], f"{point}: stray files after reopen: {leftovers}"
+
+
+def test_truncated_pages_file_fails_typed(tmp_path, gen1_store):
+    path = tmp_path / "store"
+    DiskShardStore.create(path, gen1_store, page_size=PAGE, registry=Registry()).close()
+    pages = next(path.glob("frames-*.pages"))
+    with open(pages, "r+b") as handle:
+        handle.truncate(pages.stat().st_size // 2)
+    with pytest.raises(CodecError, match="truncated"):
+        DiskShardStore.open(path, registry=Registry())
+
+
+def test_missing_pages_file_fails_typed(tmp_path, gen1_store):
+    path = tmp_path / "store"
+    DiskShardStore.create(path, gen1_store, page_size=PAGE, registry=Registry()).close()
+    next(path.glob("frames-*.pages")).unlink()
+    with pytest.raises(CodecError, match="missing page file"):
+        DiskShardStore.open(path, registry=Registry())
+
+
+def test_torn_frame_fails_typed_on_read_not_wrong(tmp_path, dataset, gen1_store):
+    """A partially-written page inside a frame can never answer wrongly.
+
+    The directory still decodes (it was committed before the tear), so the
+    store opens; the damage must surface as a typed CodecError on first
+    touch of the torn shard — the CRC catches it before any verdict is
+    produced from garbage bits.
+    """
+    path = tmp_path / "store"
+    DiskShardStore.create(path, gen1_store, page_size=PAGE, registry=Registry()).close()
+    directory = _Directory.decode((path / DIRECTORY_NAME).read_bytes())
+    entry = directory.shards[0]
+    tail = entry.start_page * PAGE + entry.frame_bytes - 16
+    with open(path / directory.pages_name, "r+b") as handle:
+        handle.seek(tail)
+        handle.write(b"\xa5" * 16)
+    with DiskShardStore.open(path, registry=Registry()) as disk:
+        with pytest.raises(CodecError):
+            disk.verify()
+        with pytest.raises(CodecError):
+            disk._filter_for(disk._epoch, 0)
+        # untouched shards still answer — and identically to the original
+        for shard in range(1, gen1_store.num_shards):
+            revived = disk._filter_for(disk._epoch, shard)
+            for key in dataset.positives[:40]:
+                assert revived.contains(key) == gen1_store.filters[shard].contains(key)
+
+
+def test_owning_open_sweeps_commit_leftovers(tmp_path, gen1_store):
+    path = tmp_path / "store"
+    DiskShardStore.create(path, gen1_store, page_size=PAGE, registry=Registry()).close()
+    (path / "DIRECTORY.tmp").write_bytes(b"half a directory")
+    (path / "frames-999999.pages").write_bytes(b"\x00" * PAGE)
+
+    # a non-owning reader must leave a concurrent owner's files alone
+    DiskShardStore.open(path, registry=Registry(), cleanup=False).close()
+    assert (path / "DIRECTORY.tmp").exists()
+    assert (path / "frames-999999.pages").exists()
+
+    DiskShardStore.open(path, registry=Registry()).close()
+    assert not (path / "DIRECTORY.tmp").exists()
+    assert not (path / "frames-999999.pages").exists()
+
+
+def test_failed_commit_keeps_serving_previous_epoch(tmp_path, dataset, gen1_store):
+    """An in-process commit failure is invisible to readers: old epoch rules."""
+    path = tmp_path / "store"
+    probe = _gen2_keys(dataset) + dataset.negatives
+    disk = DiskShardStore.create(path, gen1_store, page_size=PAGE, registry=Registry())
+    try:
+        expected = disk.serving_store().query_many(probe)
+        successor, rebuilt, _ = _successor(disk.serving_store(), dataset)
+
+        def explode(point):
+            if point == "pages-synced":
+                raise OSError("injected: disk full")
+
+        diskstore._FAULT_HOOK = explode
+        try:
+            with pytest.raises(OSError, match="injected"):
+                disk.commit(successor, 2, rebuilt_shards=rebuilt)
+        finally:
+            diskstore._FAULT_HOOK = None
+
+        assert disk.generation == 1
+        assert disk.serving_store().query_many(probe) == expected
+        # on-disk state is the old generation too
+        with DiskShardStore.open(path, registry=Registry(), cleanup=False) as reader:
+            assert reader.generation == 1
+
+        # the store is not wedged: the retry goes through
+        assert disk.commit(successor, 2, rebuilt_shards=rebuilt) == 2
+        assert disk.serving_store().query_many(probe) == successor.query_many(probe)
+    finally:
+        disk.close()
