@@ -1,0 +1,178 @@
+"""Micro-benchmark: snapshot-delta size and follower apply latency.
+
+Two gates guard the replication tier:
+
+* **delta size**: with exactly one of 16 shards dirty, the encoded delta
+  frame must be at most 1/8 the size of the encoded full-snapshot frame —
+  the whole point of shipping diffs is that replication bandwidth tracks
+  the size of the *change*, not the size of the key set;
+* **end-to-end wire sync**: a follower connected to a
+  :class:`BuilderPublisher` over real TCP must converge on a published
+  1-dirty-shard rebuild, and its measured apply latency (decode → swap)
+  is recorded for trajectory tracking.
+
+Results land in ``BENCH_replication.json`` at the repo root (uploaded by
+the matrixed CI bench job) so successive PRs can track the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.metrics.benchmeta import bench_environment
+from repro.metrics.timing import Stopwatch
+from repro.obs import Registry
+from repro.service.replication import (
+    BuilderPublisher,
+    FollowerClient,
+    apply_delta,
+    decode_delta,
+    encode_delta,
+    full_snapshot,
+    make_delta,
+)
+from repro.service.server import MembershipService
+from repro.service.shards import ShardRouter, ShardedFilterStore
+from repro.workloads.shalla import generate_shalla_like
+
+NUM_KEYS = 40_000
+NUM_SHARDS = 16
+BACKEND = "bloom"
+BITS_PER_KEY = 12.0
+#: A 1-dirty-shard delta must be at most this fraction of the full frame.
+REQUIRED_SIZE_RATIO = 1 / 8
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_replication.json"
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_shalla_like(num_positives=NUM_KEYS, num_negatives=100, seed=89)
+
+
+def _key_for_shard(router: ShardRouter, shard: int, tag: str) -> str:
+    for attempt in range(1_000_000):
+        key = f"{tag}-{attempt}"
+        if router.shard_of(key) == shard:
+            return key
+    raise AssertionError("no key found for shard")  # pragma: no cover
+
+
+@pytest.fixture(scope="module")
+def replication_report(dataset):
+    service = MembershipService(
+        backend=BACKEND,
+        num_shards=NUM_SHARDS,
+        bits_per_key=BITS_PER_KEY,
+        registry=Registry(),
+    )
+    service.load(dataset.positives)
+    base = service.snapshot
+    router = ShardRouter(NUM_SHARDS, seed=0)
+    fresh = _key_for_shard(router, 0, "repl-dirty")
+
+    # -- delta size: one dirty shard of 16 vs the full frame -------------- #
+    successor, rebuilt, _ = ShardedFilterStore.rebuild_from(
+        base.store,
+        dataset.positives + [fresh],
+        backend=BACKEND,
+        bits_per_key=BITS_PER_KEY,
+    )
+    assert rebuilt == [0]
+    delta = make_delta(base, successor)
+    delta_bytes = len(encode_delta(delta))
+    full_bytes = len(encode_delta(full_snapshot(successor, 2)))
+
+    # -- local apply latency (no wire): decode + assemble + swap ---------- #
+    encoded = encode_delta(delta)
+    apply_best = float("inf")
+    for _ in range(3):
+        with Stopwatch() as watch:
+            apply_delta(base, decode_delta(encoded))
+        apply_best = min(apply_best, watch.seconds)
+
+    # -- end-to-end: publisher ships the rebuild to a TCP follower -------- #
+    follower = MembershipService(
+        backend=BACKEND,
+        num_shards=NUM_SHARDS,
+        bits_per_key=BITS_PER_KEY,
+        registry=Registry(),
+    )
+    registry = Registry()
+    with BuilderPublisher(service, registry=Registry()) as publisher:
+        host, port = publisher.start()
+        publisher.publish()
+        with FollowerClient(follower, host, port, registry=registry) as client:
+            synced_initial = client.wait_for_generation(1, timeout=60)
+            with Stopwatch() as wire_watch:
+                publisher.publish_rebuild(dataset.positives + [fresh])
+                synced_delta = client.wait_for_generation(2, timeout=60)
+            assert synced_initial and synced_delta
+            assert follower.query(fresh) is True
+            apply_hist = client._apply_seconds
+            wire_applies = int(apply_hist.count)
+            wire_apply_seconds = (
+                apply_hist.sum / apply_hist.count if apply_hist.count else None
+            )
+
+    report = {
+        "benchmark": "replication",
+        **bench_environment(),
+        "cpu_count": os.cpu_count(),
+        "num_keys": NUM_KEYS,
+        "num_shards": NUM_SHARDS,
+        "backend": BACKEND,
+        "delta": {
+            "dirty_shards": 1,
+            "delta_bytes": delta_bytes,
+            "full_bytes": full_bytes,
+            "size_ratio": round(delta_bytes / full_bytes, 4),
+            "required_ratio": round(REQUIRED_SIZE_RATIO, 4),
+        },
+        "apply": {
+            "local_apply_seconds": round(apply_best, 6),
+            "wire_frames_applied": wire_applies,
+            "wire_mean_apply_seconds": (
+                round(wire_apply_seconds, 6) if wire_apply_seconds else None
+            ),
+            "publish_to_synced_seconds": round(wire_watch.seconds, 4),
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_one_dirty_shard_delta_size_gate(replication_report):
+    entry = replication_report["delta"]
+    print(
+        f"\ndelta size: 1 dirty shard of {NUM_SHARDS} = {entry['delta_bytes']}B  "
+        f"full = {entry['full_bytes']}B  ratio = {entry['size_ratio']}"
+    )
+    assert entry["size_ratio"] <= REQUIRED_SIZE_RATIO, (
+        f"1-dirty-shard delta is {entry['size_ratio']:.3f} of the full frame "
+        f"(required <= {REQUIRED_SIZE_RATIO:.3f})"
+    )
+
+
+def test_follower_apply_latency_recorded(replication_report):
+    entry = replication_report["apply"]
+    print(
+        f"\nfollower apply: local={entry['local_apply_seconds']}s  "
+        f"wire-mean={entry['wire_mean_apply_seconds']}s over "
+        f"{entry['wire_frames_applied']} frames  "
+        f"publish-to-synced={entry['publish_to_synced_seconds']}s"
+    )
+    assert entry["wire_frames_applied"] >= 2  # initial full + the delta
+    assert entry["wire_mean_apply_seconds"] is not None
+    assert entry["local_apply_seconds"] > 0
+
+
+def test_report_written(replication_report):
+    recorded = json.loads(RESULT_PATH.read_text())
+    assert recorded["benchmark"] == "replication"
+    assert recorded["delta"]["size_ratio"] <= REQUIRED_SIZE_RATIO
+    assert recorded["apply"]["wire_mean_apply_seconds"] is not None

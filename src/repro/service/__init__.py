@@ -37,6 +37,12 @@ blacklist-gateway / LSM read-path setting the paper motivates:
   ``mmap`` and hot shards from a byte-budgeted LRU, and plugs into
   ``MembershipService(store_path=...)`` / ``ReplicaPool(store_path=...)``
   so key sets larger than RAM serve with bounded resident memory.
+* :mod:`repro.service.replication` — the cluster tier: snapshot *deltas*
+  (only the dirty shards' codec frames plus per-shard expectations) shipped
+  from a builder to N followers over a length-prefixed, CRC-framed TCP
+  protocol (:class:`BuilderPublisher` / :class:`FollowerClient`), applied as
+  the same atomic ``install_snapshot`` hot-swap — one builder, many
+  followers, all answering with the generation they serve.
 * :mod:`repro.service.stats` — the stats dataclasses shared by the above
   (since the telemetry layer, views over :mod:`repro.obs` registry
   instruments; ``GET /metrics`` and the ``METRICS`` line command expose the
@@ -74,6 +80,18 @@ from repro.service.codec import (
 )
 from repro.service.diskstore import DEFAULT_PAGE_SIZE, DirectoryEntry, DiskShardStore
 from repro.service.multiproc import ReplicaPool, SharedFrameArena
+from repro.service.replication import (
+    BuilderPublisher,
+    FollowerClient,
+    SnapshotDelta,
+    StaleBaseError,
+    apply_delta,
+    apply_to_service,
+    decode_delta,
+    encode_delta,
+    full_snapshot,
+    make_delta,
+)
 from repro.service.server import BatchAnswer, MembershipService, Snapshot
 from repro.service.shards import EmptyShardFilter, ShardRouter, ShardedFilterStore
 from repro.service.stats import (
@@ -98,6 +116,16 @@ __all__ = [
     "AsyncMembershipServer",
     "ReplicaPool",
     "SharedFrameArena",
+    "BuilderPublisher",
+    "FollowerClient",
+    "SnapshotDelta",
+    "StaleBaseError",
+    "make_delta",
+    "full_snapshot",
+    "encode_delta",
+    "decode_delta",
+    "apply_delta",
+    "apply_to_service",
     "DiskShardStore",
     "DirectoryEntry",
     "DEFAULT_PAGE_SIZE",

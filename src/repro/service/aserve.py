@@ -51,6 +51,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import contextvars
+import functools
 import itertools
 import json
 import urllib.parse
@@ -608,6 +609,17 @@ _HTTP_MAX_BODY_BYTES = 1 << 20
 #: is 64 KiB, which a legitimate multi-key ``M`` line can exceed; this cap
 #: bounds one line/body at the same size the HTTP handler accepts.
 _STREAM_LIMIT_BYTES = _HTTP_MAX_BODY_BYTES
+#: Larger body cap applied to ``POST /rebuild`` only — a pushed key set is
+#: legitimately bigger than a query batch.  ``readexactly`` is not bounded by
+#: the stream ``limit`` (only ``readline`` is), so a per-path cap works.
+_REBUILD_MAX_BODY_BYTES = 8 << 20
+#: Most keys one pushed rebuild may carry across keys/negatives/changed_keys,
+#: bounding the build work a single operator request can demand.
+_REBUILD_MAX_KEYS = 1_000_000
+#: Fields a rebuild spec (the ``R`` command / ``POST /rebuild`` JSON) accepts.
+_REBUILD_FIELDS = frozenset(
+    {"keys", "negatives", "costs", "changed_keys", "incremental"}
+)
 
 
 class AsyncMembershipServer:
@@ -621,6 +633,7 @@ class AsyncMembershipServer:
 
         Q <key>              -> V <generation> <0|1>
         M <key> <key> ...    -> V <generation> <0|1> <0|1> ...
+        R <json spec>        -> R <new generation>   (operator-pushed rebuild)
         GEN                  -> G <generation>
         STATS                -> S <one-line JSON of ServiceStats>
         METRICS              -> Prometheus exposition text, terminated by a
@@ -629,11 +642,24 @@ class AsyncMembershipServer:
         anything invalid     -> E <message>
 
     HTTP endpoints (JSON responses except ``/metrics``, which serves the
-    Prometheus text format; every response is ``Connection: close``)::
+    Prometheus text format)::
 
         GET  /query?key=K        GET /generation      GET /stats
         GET  /metrics            (Prometheus text exposition)
         POST /query_many         (body: JSON list or newline-delimited keys)
+        POST /rebuild            (body: JSON rebuild spec; returns the new
+                                  generation — see docs/SERVING.md)
+
+    Responses use content-length framing and default to ``Connection:
+    close``; a client that sends an explicit ``Connection: keep-alive``
+    request header gets a ``keep-alive`` response and may reuse the socket
+    for its next request.  Error responses always close.
+
+    The rebuild spec is a JSON object: ``{"keys": [...]}`` required, plus
+    optional ``"negatives"``, ``"costs"`` (key → float), ``"changed_keys"``
+    (forces those keys' shards dirty) and ``"incremental"`` (default true).
+    Builds run on a worker thread, so queries keep flowing — and keep
+    answering from the old generation — until the swap.
 
     Args:
         service: The loaded service to serve.
@@ -785,7 +811,92 @@ class AsyncMembershipServer:
                 parts[1:]
             )
             return f"V {generation} " + " ".join(str(int(v)) for v in verdicts)
+        if command == "R":
+            # The spec is JSON, so re-split with maxsplit=1 to keep it intact
+            # (the whitespace-normalising split above would still work for
+            # compact JSON, but not for pretty-printed specs).
+            _, _, spec_text = line.partition(" ")
+            if not spec_text.strip():
+                return "E R takes a JSON rebuild spec"
+            spec = self._parse_rebuild_spec(spec_text)
+            generation = await self._run_rebuild(spec)
+            return f"R {generation}"
         return f"E unknown command {parts[0]!r}"
+
+    # ------------------------------------------------------------------ #
+    # Operator-pushed rebuilds (shared by the R command and POST /rebuild)
+    # ------------------------------------------------------------------ #
+    def _parse_rebuild_spec(self, text: str) -> dict:
+        """Validate a rebuild spec; every malformation raises ServiceError."""
+        try:
+            spec = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"rebuild spec is not valid JSON: {exc}") from None
+        if not isinstance(spec, dict):
+            raise ServiceError("rebuild spec must be a JSON object")
+        unknown = set(spec) - _REBUILD_FIELDS
+        if unknown:
+            raise ServiceError(
+                f"unknown rebuild fields: {', '.join(sorted(unknown))}"
+            )
+        keys = spec.get("keys")
+        if not isinstance(keys, list) or not keys:
+            raise ServiceError('rebuild spec needs a non-empty "keys" list')
+        negatives = spec.get("negatives", [])
+        if not isinstance(negatives, list):
+            raise ServiceError('"negatives" must be a list')
+        changed = spec.get("changed_keys")
+        if changed is not None and not isinstance(changed, list):
+            raise ServiceError('"changed_keys" must be a list')
+        costs = spec.get("costs")
+        if costs is not None and not isinstance(costs, dict):
+            raise ServiceError('"costs" must be an object of key -> cost')
+        incremental = spec.get("incremental", True)
+        if not isinstance(incremental, bool):
+            raise ServiceError('"incremental" must be a boolean')
+        total = len(keys) + len(negatives) + (len(changed) if changed else 0)
+        if total > _REBUILD_MAX_KEYS:
+            raise ServiceError(
+                f"rebuild spec carries {total} keys; the limit is "
+                f"{_REBUILD_MAX_KEYS}"
+            )
+        try:
+            parsed_costs = (
+                {str(key): float(value) for key, value in costs.items()}
+                if costs
+                else None
+            )
+        except (TypeError, ValueError):
+            raise ServiceError('"costs" values must be numbers') from None
+        return {
+            "keys": [str(key) for key in keys],
+            "negatives": [str(key) for key in negatives],
+            "costs": parsed_costs,
+            "changed_keys": (
+                [str(key) for key in changed] if changed is not None else None
+            ),
+            "incremental": incremental,
+        }
+
+    async def _run_rebuild(self, spec: dict) -> int:
+        """Run a validated rebuild on a worker thread; returns the generation.
+
+        The build is CPU work that must not block the event loop — queries
+        keep coalescing and dispatching (answered by the old generation)
+        while it runs; the swap itself is the service's atomic hot-swap.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None,
+            functools.partial(
+                self._service.rebuild,
+                spec["keys"],
+                negatives=spec["negatives"],
+                costs=spec["costs"],
+                changed_keys=spec["changed_keys"],
+                incremental=spec["incremental"],
+            ),
+        )
 
     # ------------------------------------------------------------------ #
     # Minimal HTTP/1.1
@@ -810,20 +921,23 @@ class AsyncMembershipServer:
                     return
                 remaining -= len(chunk)
 
-    async def _write_http_response(self, reader, writer, status: int, payload) -> None:
-        """Emit one complete response, then half-close and drain the input.
+    async def _write_http_response(
+        self, reader, writer, status: int, payload, keep_alive: bool = False
+    ) -> None:
+        """Emit one complete, content-length-framed response.
 
-        Every response — success or error — carries an explicit
-        ``Connection: close`` header; this server answers exactly one
-        request per connection, and clients (including the protocol tests)
-        may rely on observing EOF after the body.  The shutdown order
-        matters: ``write_eof`` sends FIN right after the body (so the
-        client sees a clean end-of-response), then any input the handler
-        never read — an oversized line, an over-limit body, a pipelined
-        second request — is drained before the ``finally`` closes the
-        socket, because closing with unread bytes in the receive buffer
-        makes the kernel send RST, which can destroy the response still in
-        flight.
+        Every response carries an explicit ``Connection`` header.  With
+        ``keep_alive=False`` (the default, and all error paths) the header
+        says ``close`` and the shutdown order matters: ``write_eof`` sends
+        FIN right after the body (so the client sees a clean
+        end-of-response), then any input the handler never read — an
+        oversized line, an over-limit body, a pipelined second request — is
+        drained before the ``finally`` closes the socket, because closing
+        with unread bytes in the receive buffer makes the kernel send RST,
+        which can destroy the response still in flight.  With
+        ``keep_alive=True`` the header says ``keep-alive`` and the socket is
+        left open for the client's next request — content-length framing
+        tells the client exactly where this response ends.
 
         ``payload`` is JSON-encoded unless it is a :class:`_RawBody`, which
         carries pre-encoded bytes and their content type (the ``/metrics``
@@ -835,14 +949,17 @@ class AsyncMembershipServer:
         else:
             data = json.dumps(payload).encode("utf-8")
             content_type = "application/json"
+        connection = "keep-alive" if keep_alive else "close"
         head = (
             f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'OK')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
-            "Connection: close\r\n\r\n"
+            f"Connection: {connection}\r\n\r\n"
         )
         writer.write(head.encode("latin-1") + data)
         await writer.drain()
+        if keep_alive:
+            return
         with contextlib.suppress(OSError, RuntimeError):
             writer.write_eof()
         await self._discard_remaining(reader)
@@ -850,83 +967,8 @@ class AsyncMembershipServer:
     async def _handle_http(self, reader, writer) -> None:
         self._track_connection()
         try:
-            try:
-                request_line = await reader.readline()
-            except ValueError:
-                # Request line overran the stream limit; the buffered rest of
-                # the connection is unusable, so answer and hang up.
-                await self._write_http_response(
-                    reader,
-                    writer,
-                    414,
-                    {"error": f"request line exceeds {_STREAM_LIMIT_BYTES} bytes"},
-                )
-                return
-            if not request_line:
-                return  # peer connected and left; nothing to answer
-            pieces = request_line.decode("latin-1").split()
-            if len(pieces) < 2:
-                await self._write_http_response(
-                    reader, writer, 400, {"error": "malformed request line"}
-                )
-                return
-            method, target = pieces[0].upper(), pieces[1]
-            content_length = 0
-            while True:
-                try:
-                    header = await reader.readline()
-                except ValueError:
-                    await self._write_http_response(
-                        reader,
-                        writer,
-                        431,
-                        {"error": f"header line exceeds {_STREAM_LIMIT_BYTES} bytes"},
-                    )
-                    return
-                if header in (b"\r\n", b"\n", b""):
-                    break
-                name, _, value = header.decode("latin-1").partition(":")
-                if name.strip().lower() == "content-length":
-                    with contextlib.suppress(ValueError):
-                        content_length = int(value.strip())
-            if content_length < 0:
-                # The declared length is nonsense, so the body (if any) was
-                # never read: answer (which drains it), hang up.
-                await self._write_http_response(
-                    reader, writer, 400, {"error": "negative Content-Length"}
-                )
-                return
-            if content_length > _HTTP_MAX_BODY_BYTES:
-                await self._write_http_response(
-                    reader,
-                    writer,
-                    413,
-                    {"error": f"request body exceeds {_HTTP_MAX_BODY_BYTES} bytes"},
-                )
-                return
-            try:
-                body = (
-                    await reader.readexactly(content_length)
-                    if content_length
-                    else b""
-                )
-            except asyncio.IncompleteReadError as exc:
-                # EOF inside the body: everything sent was consumed, so the
-                # response goes out over an already-drained connection.
-                await self._write_http_response(
-                    reader,
-                    writer,
-                    400,
-                    {
-                        "error": (
-                            "request body truncated: Content-Length "
-                            f"{content_length}, received {len(exc.partial)}"
-                        )
-                    },
-                )
-                return
-            status, payload = await self._http_response(method, target, body)
-            await self._write_http_response(reader, writer, status, payload)
+            while await self._serve_one_http(reader, writer):
+                pass
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
             pass  # pragma: no cover - torn-down connection
         except asyncio.CancelledError:
@@ -935,6 +977,106 @@ class AsyncMembershipServer:
             writer.close()
             with contextlib.suppress(Exception, asyncio.CancelledError):
                 await writer.wait_closed()
+
+    async def _serve_one_http(self, reader, writer) -> bool:
+        """Serve one request; returns whether the connection stays open.
+
+        Keep-alive is opt-in: only a request carrying an explicit
+        ``Connection: keep-alive`` header gets a ``keep-alive`` response and
+        a reusable socket.  Requests without the header — including
+        HTTP/1.1 pipelining attempts — keep the original
+        one-response-then-EOF behaviour, and every error path closes.
+        """
+        try:
+            request_line = await reader.readline()
+        except ValueError:
+            # Request line overran the stream limit; the buffered rest of
+            # the connection is unusable, so answer and hang up.
+            await self._write_http_response(
+                reader,
+                writer,
+                414,
+                {"error": f"request line exceeds {_STREAM_LIMIT_BYTES} bytes"},
+            )
+            return False
+        if not request_line:
+            return False  # peer left (or finished a keep-alive exchange)
+        pieces = request_line.decode("latin-1").split()
+        if len(pieces) < 2:
+            await self._write_http_response(
+                reader, writer, 400, {"error": "malformed request line"}
+            )
+            return False
+        method, target = pieces[0].upper(), pieces[1]
+        content_length = 0
+        connection_header = ""
+        while True:
+            try:
+                header = await reader.readline()
+            except ValueError:
+                await self._write_http_response(
+                    reader,
+                    writer,
+                    431,
+                    {"error": f"header line exceeds {_STREAM_LIMIT_BYTES} bytes"},
+                )
+                return False
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            name = name.strip().lower()
+            if name == "content-length":
+                with contextlib.suppress(ValueError):
+                    content_length = int(value.strip())
+            elif name == "connection":
+                connection_header = value.strip().lower()
+        keep_alive = connection_header == "keep-alive"
+        if content_length < 0:
+            # The declared length is nonsense, so the body (if any) was
+            # never read: answer (which drains it), hang up.
+            await self._write_http_response(
+                reader, writer, 400, {"error": "negative Content-Length"}
+            )
+            return False
+        path = target.partition("?")[0]
+        max_body = (
+            _REBUILD_MAX_BODY_BYTES if path == "/rebuild" else _HTTP_MAX_BODY_BYTES
+        )
+        if content_length > max_body:
+            await self._write_http_response(
+                reader,
+                writer,
+                413,
+                {"error": f"request body exceeds {max_body} bytes"},
+            )
+            return False
+        try:
+            body = (
+                await reader.readexactly(content_length)
+                if content_length
+                else b""
+            )
+        except asyncio.IncompleteReadError as exc:
+            # EOF inside the body: everything sent was consumed, so the
+            # response goes out over an already-drained connection.
+            await self._write_http_response(
+                reader,
+                writer,
+                400,
+                {
+                    "error": (
+                        "request body truncated: Content-Length "
+                        f"{content_length}, received {len(exc.partial)}"
+                    )
+                },
+            )
+            return False
+        status, payload = await self._http_response(method, target, body)
+        keep_alive = keep_alive and status == 200
+        await self._write_http_response(
+            reader, writer, status, payload, keep_alive=keep_alive
+        )
+        return keep_alive
 
     async def _http_response(self, method: str, target: str, body: bytes):
         path, _, query = target.partition("?")
@@ -970,6 +1112,15 @@ class AsyncMembershipServer:
                     keys
                 )
                 return 200, {"members": verdicts, "generation": generation}
+            if method == "POST" and path == "/rebuild":
+                spec = self._parse_rebuild_spec(
+                    body.decode("utf-8", errors="replace")
+                )
+                generation = await self._run_rebuild(spec)
+                return 200, {
+                    "generation": generation,
+                    "num_keys": len(spec["keys"]),
+                }
         except (ServiceError, json.JSONDecodeError) as exc:
             return 400, {"error": str(exc)}
         return 404, {"error": f"no route for {method} {path}"}

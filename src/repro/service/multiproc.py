@@ -828,51 +828,96 @@ class ReplicaPool:
                 incremental=incremental,
                 workers=workers,
             )
-            if self._store_path is not None:
-                # Disk tier: the builder's rebuild already committed this
-                # generation durably; replicas roll by reopening the path
-                # (their own mmap of the same pages) instead of attaching a
-                # shared-memory arena.
-                load_command = (
-                    "load_disk",
-                    str(self._store_path),
-                    generation,
-                    self._cache_budget,
-                )
-                arena = None
-            else:
-                store = self._builder.snapshot.store
-                arena = SharedFrameArena.publish(store, generation)
-                load_command = ("load", arena.name, generation)
-            try:
-                if not self._replicas:
-                    self._spawn()
-                    held = list(self._replicas)
-                else:
-                    held = self._acquire_all()
-                try:
-                    for replica in held:
-                        replica.conn.send(load_command)
-                    for replica in held:
-                        _expect(
-                            replica.conn,
-                            "loaded",
-                            self._load_timeout,
-                            f"generation {generation} install on replica {replica.index}",
-                        )
-                finally:
-                    for replica in held:
-                        self._free.put(replica)
-            except Exception:
-                if arena is not None:
-                    arena.dispose()
-                raise
-            previous, self._arena = self._arena, arena
-            if previous is not None:
-                # Every replica detached the old mapping before acking, so
-                # the owner can drop the name; pages die with the mappings.
-                previous.dispose()
+            self._roll_replicas(generation)
             return generation
+
+    def _roll_replicas(self, generation: int) -> None:
+        """Roll the fleet onto the builder's current snapshot.
+
+        Caller holds ``_swap_lock`` and has already moved the builder (and,
+        in disk mode, committed the generation durably).  Drains in-flight
+        windows, installs the generation on every surviving replica, then
+        retires the previous arena.
+        """
+        if self._store_path is not None:
+            # Disk tier: the builder already committed this generation
+            # durably; replicas roll by reopening the path (their own mmap
+            # of the same pages) instead of attaching a shared-memory arena.
+            load_command = (
+                "load_disk",
+                str(self._store_path),
+                generation,
+                self._cache_budget,
+            )
+            arena = None
+        else:
+            store = self._builder.snapshot.store
+            arena = SharedFrameArena.publish(store, generation)
+            load_command = ("load", arena.name, generation)
+        try:
+            if not self._replicas:
+                self._spawn()
+                held = list(self._replicas)
+            else:
+                held = self._acquire_all()
+            try:
+                for replica in held:
+                    replica.conn.send(load_command)
+                for replica in held:
+                    _expect(
+                        replica.conn,
+                        "loaded",
+                        self._load_timeout,
+                        f"generation {generation} install on replica {replica.index}",
+                    )
+            finally:
+                for replica in held:
+                    self._free.put(replica)
+        except Exception:
+            if arena is not None:
+                arena.dispose()
+            raise
+        previous, self._arena = self._arena, arena
+        if previous is not None:
+            # Every replica detached the old mapping before acking, so
+            # the owner can drop the name; pages die with the mappings.
+            previous.dispose()
+
+    def install_snapshot(
+        self,
+        store: ShardedFilterStore,
+        num_keys: Optional[int] = None,
+        generation: Optional[int] = None,
+        rebuilt_shards: Optional[Sequence[int]] = None,
+    ) -> int:
+        """Install an externally built store on the builder and roll the fleet.
+
+        Same contract as :meth:`MembershipService.install_snapshot` — the
+        generation must move forward, and ``rebuilt_shards`` lets a disk-mode
+        pool commit incrementally — followed by the same drain-then-roll swap
+        :meth:`rebuild` uses, so no window ever mixes generations.  This is
+        what lets a whole pool act as a replication *follower*: a
+        :class:`~repro.service.replication.FollowerClient` pointed at a pool
+        rolls all R replicas per applied delta.
+        """
+        if self._closed:
+            raise ServiceError("the replica pool is closed")
+        with self._swap_lock:
+            self._reap_dead()
+            generation = self._builder.install_snapshot(
+                store,
+                num_keys=num_keys,
+                generation=generation,
+                rebuilt_shards=rebuilt_shards,
+            )
+            self._roll_replicas(generation)
+            return generation
+
+    def apply_snapshot_delta(self, delta) -> int:
+        """Apply a replication delta fleet-wide; returns the new generation."""
+        from repro.service import replication
+
+        return replication.apply_to_service(self, delta)
 
     def close(self, timeout: float = 10.0) -> None:
         """Stop every replica and release the arena. Idempotent."""
@@ -1045,6 +1090,12 @@ class ReplicaPool:
     def generation(self) -> int:
         """Generation the fleet serves (0 before the first load)."""
         return self._builder.generation
+
+    @property
+    def snapshot(self):
+        """The builder's serving snapshot (what the fleet was rolled onto),
+        or ``None`` before the first load.  Replication diffs against this."""
+        return self._builder.snapshot
 
     @property
     def max_batch_size(self) -> int:

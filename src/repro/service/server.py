@@ -536,6 +536,7 @@ class MembershipService:
         store: ShardedFilterStore,
         num_keys: Optional[int] = None,
         generation: Optional[int] = None,
+        rebuilt_shards: Optional[Sequence[int]] = None,
     ) -> int:
         """Swap in an externally built (e.g. codec-loaded) store.
 
@@ -549,6 +550,12 @@ class MembershipService:
         use this so every replica answers with the *builder's* generation
         number — the property that lets a dispatcher assert no window ever
         mixes generations across replicas.  It must move forward.
+
+        ``rebuilt_shards`` is dirty-shard provenance for the disk tier: when
+        the caller knows exactly which shards differ from the committed
+        store (a replication delta does), disk mode commits incrementally —
+        only those shards' frames are appended — instead of rewriting every
+        shard.  RAM mode ignores it.
         """
         with self._swap_lock:
             previous = self._snapshot
@@ -560,9 +567,9 @@ class MembershipService:
                     f"current {previous.generation}"
                 )
             if self._store_path is not None:
-                # Same durability contract as rebuild(): persist first (a
-                # full commit — externally built stores carry no dirty-shard
-                # provenance), then serve the committed epoch's view.
+                # Same durability contract as rebuild(): persist first, then
+                # serve the committed epoch's view.  Without provenance the
+                # commit is full; a delta apply passes its dirty set through.
                 if self._disk is None:
                     self._disk = DiskShardStore.create(
                         self._store_path,
@@ -572,7 +579,7 @@ class MembershipService:
                         registry=self._registry,
                     )
                 else:
-                    self._disk.commit(store, generation)
+                    self._disk.commit(store, generation, rebuilt_shards=rebuilt_shards)
                 if num_keys is None:
                     num_keys = store.num_keys()
                 store = self._disk.serving_store()
@@ -588,6 +595,19 @@ class MembershipService:
             self._generation_gauge.set(generation)
             self._keys_gauge.set(store.num_keys() if num_keys is None else num_keys)
         return generation
+
+    def apply_snapshot_delta(self, delta) -> int:
+        """Apply a replication delta (or its encoded bytes); returns the generation.
+
+        Convenience front door to :func:`repro.service.replication.\
+apply_to_service`: validates the delta against the serving snapshot,
+        assembles the successor store (decoding only the dirty shards), and
+        swaps it in through :meth:`install_snapshot` — incrementally
+        committed in disk mode.
+        """
+        from repro.service import replication
+
+        return replication.apply_to_service(self, delta)
 
     # ------------------------------------------------------------------ #
     # Queries

@@ -647,6 +647,47 @@ class ShardedFilterStore:
         skipped = [shard for shard in range(router.num_shards) if shard not in dirty]
         return store, rebuilt, skipped
 
+    def replace_shards(
+        self,
+        replacements: Mapping[int, Tuple[object, int, int, Optional[int], str]],
+    ) -> "ShardedFilterStore":
+        """A successor store with ``replacements`` swapped in, rest shared.
+
+        ``replacements`` maps shard index → ``(filter, key_count,
+        generation, fingerprint, backend_name)``.  Untouched shards share
+        this store's filter objects by identity and keep their metadata —
+        the assembly the replication tier uses to apply an O(dirty-shard)
+        delta on a follower (clean shards may be lazy disk proxies; they
+        pass through untouched and stay cold).
+        """
+        num_shards = self.num_shards
+        filters = list(self._filters)
+        counts = self.shard_key_counts
+        generations = self.shard_generations
+        fingerprints = self.shard_fingerprints
+        names = self.shard_backend_names
+        for shard, parts in replacements.items():
+            if not 0 <= shard < num_shards:
+                raise ConfigurationError(
+                    f"replacement names shard {shard}, but the store has "
+                    f"{num_shards} shards"
+                )
+            filt, key_count, generation, fingerprint, backend_name = parts
+            filters[shard] = filt
+            counts[shard] = key_count
+            generations[shard] = generation
+            fingerprints[shard] = fingerprint
+            names[shard] = backend_name
+        return ShardedFilterStore.from_parts(
+            filters=filters,
+            router_seed=self._router_seed,
+            backend_name=names[0] if len(set(names)) == 1 else "mixed",
+            shard_key_counts=counts,
+            shard_generations=generations,
+            shard_fingerprints=fingerprints,
+            shard_backend_names=names,
+        )
+
     @classmethod
     def from_parts(
         cls,

@@ -1,0 +1,113 @@
+"""Corruption fuzz for replication frames: flipped bytes never lie.
+
+Hypothesis drives random byte flips into encoded replication frames — both
+kinds, the O(dirty) delta and the full-snapshot fallback — and the property
+is the wire-safety contract in one sentence: decoding and applying a
+damaged frame either raises a typed :class:`CodecError`/:class:`ServiceError`
+or produces a store answering *exactly* like the true successor.
+
+There is no third outcome.  The frame CRC covers everything after the
+magic, each dirty shard's nested codec frame carries its own checksum, and
+the per-shard records are validated against the follower's base before any
+patch is trusted — so a flip either surfaces as a typed refusal (the wire
+layer NACKs it and the publisher re-ships) or lands on a byte the decode
+never trusts (or is a no-op), in which case verdicts must be bit-identical
+with zero false negatives.  A follower silently serving wrong members
+fails the property.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis", reason="corruption fuzz needs hypothesis")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError, ServiceError
+from repro.service.replication import (
+    apply_delta,
+    decode_delta,
+    encode_delta,
+    full_snapshot,
+    make_delta,
+)
+from repro.service.server import Snapshot
+from repro.service.shards import ShardedFilterStore
+from repro.workloads.shalla import generate_shalla_like
+
+fuzz_settings = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+
+
+@pytest.fixture(scope="module")
+def pristine():
+    """Base snapshot, true successor, and both pristine encoded frames."""
+    data = generate_shalla_like(num_positives=250, num_negatives=200, seed=59)
+    base_store = ShardedFilterStore.build(
+        data.positives, negatives=data.negatives, num_shards=3, backend="bloom-dh"
+    )
+    base = Snapshot(generation=1, store=base_store, num_keys=len(data.positives))
+    new_keys = data.positives + [f"repl-added-{i}" for i in range(10)]
+    successor, rebuilt, _ = ShardedFilterStore.rebuild_from(
+        base_store, new_keys, negatives=data.negatives, backend="bloom-dh"
+    )
+    assert rebuilt, "the fuzz corpus needs at least one dirty shard"
+    frames = {
+        "delta": encode_delta(make_delta(base, successor)),
+        "full": encode_delta(full_snapshot(successor, 2)),
+    }
+    probe = new_keys + data.negatives + [f"fuzz-{i}" for i in range(150)]
+    baseline = successor.query_many(probe)
+    return base, frames, probe, baseline, new_keys
+
+
+def _flip(frame: bytes, flips) -> bytes:
+    blob = bytearray(frame)
+    for position, value in flips:
+        blob[position % len(blob)] = value
+    return bytes(blob)
+
+
+@given(
+    kind=st.sampled_from(["delta", "full"]),
+    flips=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1 << 24),
+            st.integers(min_value=0, max_value=255),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+)
+@fuzz_settings
+def test_flipped_frames_fail_typed_or_apply_identically(pristine, kind, flips):
+    base, frames, probe, baseline, new_keys = pristine
+    damaged = _flip(frames[kind], flips)
+    try:
+        applied = apply_delta(base, decode_delta(damaged))
+        verdicts = applied.query_many(probe)
+    except (CodecError, ServiceError):
+        return  # typed refusal is a correct outcome (the wire layer NACKs)
+    # the frame applied: it must have produced the true successor — a
+    # damaged frame may be refused, it may survive (no-op flips), but the
+    # follower may never serve different verdicts from it
+    assert verdicts == baseline, (
+        f"corrupted {kind} frame applied with different verdicts (flips={flips})"
+    )
+    positive_verdicts = verdicts[: len(new_keys)]
+    assert all(positive_verdicts), "corruption introduced a false negative"
+
+
+def test_pristine_round_trip_sanity(pristine):
+    """The fuzz harness itself: zero-effect flips reproduce the baseline."""
+    base, frames, probe, baseline, _ = pristine
+    for kind, frame in frames.items():
+        same = _flip(frame, [(0, frame[0])])
+        assert same == frame
+        applied = apply_delta(base, decode_delta(same))
+        assert applied.query_many(probe) == baseline, kind

@@ -564,3 +564,194 @@ def test_http_errors_reply_connection_close_and_close_the_socket(
     assert f" {expected_status} " in status_line + " "
     assert any(h.lower() == "connection: close" for h in headers), headers
     assert closed, "server left the socket open after an error response"
+
+
+# --------------------------------------------------------------------- #
+# Keep-alive framing
+# --------------------------------------------------------------------- #
+async def _read_framed_response(reader):
+    """Read exactly one content-length-framed response; returns (status, headers, body)."""
+    head = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout=5.0)
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        if _:
+            headers[name.strip().lower()] = value.strip()
+    body = await reader.readexactly(int(headers["content-length"]))
+    return status, headers, body
+
+
+def test_http_keep_alive_serves_many_requests_on_one_socket(service):
+    """An explicit ``Connection: keep-alive`` request keeps the socket open.
+
+    Three requests ride one connection; each response is content-length
+    framed and answers ``Connection: keep-alive``.  A final request without
+    the header reverts to close semantics: one response, then EOF.
+    """
+
+    async def scenario():
+        async with AsyncMembershipServer(service, max_wait_ms=1.0) as server:
+            host, port = await server.start_http()
+            reader, writer = await asyncio.open_connection(host, port)
+            results = []
+            for key in (POSITIVES[0], NEGATIVES[0], POSITIVES[1]):
+                writer.write(
+                    f"GET /query?key={key} HTTP/1.1\r\nHost: t\r\n"
+                    "Connection: keep-alive\r\n\r\n".encode()
+                )
+                await writer.drain()
+                results.append(await _read_framed_response(reader))
+            # no keep-alive header → server answers and closes
+            writer.write(b"GET /generation HTTP/1.1\r\nHost: t\r\n\r\n")
+            await writer.drain()
+            final = await _read_framed_response(reader)
+            trailing = await asyncio.wait_for(reader.read(), timeout=5.0)
+            writer.close()
+            return results, final, trailing
+
+    results, final, trailing = run(scenario())
+    verdicts = []
+    for status, headers, body in results:
+        assert status == 200
+        assert headers["connection"] == "keep-alive"
+        verdicts.append(json.loads(body)["member"])
+    assert verdicts == [True, False, True]
+    status, headers, body = final
+    assert status == 200 and headers["connection"] == "close"
+    assert json.loads(body) == {"generation": 1}
+    assert trailing == b"", "server wrote past the framed close response"
+
+
+def test_http_keep_alive_errors_still_close(service):
+    """A 400 on a keep-alive connection must not keep it open."""
+
+    async def scenario():
+        async with AsyncMembershipServer(service, max_wait_ms=1.0) as server:
+            host, port = await server.start_http()
+            return await _http_error_exchange(
+                host, port,
+                b"GET /query HTTP/1.1\r\nHost: t\r\nConnection: keep-alive\r\n\r\n",
+            )
+
+    status_line, headers, closed = run(scenario())
+    assert " 400 " in status_line + " "
+    assert any(h.lower() == "connection: close" for h in headers), headers
+    assert closed
+
+
+# --------------------------------------------------------------------- #
+# Rebuild-over-the-wire front-ends
+# --------------------------------------------------------------------- #
+def test_tcp_rebuild_command(service):
+    """``R <json>`` rebuilds through the engine and reports the generation."""
+
+    async def scenario():
+        async with AsyncMembershipServer(service, max_wait_ms=1.0) as server:
+            host, port = await server.start_tcp()
+            reader, writer = await asyncio.open_connection(host, port)
+
+            async def exchange(line):
+                writer.write(line.encode() + b"\n")
+                await writer.drain()
+                return (await reader.readline()).decode().strip()
+
+            spec = json.dumps(
+                {"keys": POSITIVES + ["tcp-rebuilt.example"], "negatives": NEGATIVES}
+            )
+            rebuilt = await exchange(f"R {spec}")
+            verdict = await exchange("Q tcp-rebuilt.example")
+            bad_json = await exchange("R {not json")
+            bad_field = await exchange('R {"keys": ["k"], "bogus": 1}')
+            no_keys = await exchange('R {"keys": []}')
+            writer.close()
+            return rebuilt, verdict, bad_json, bad_field, no_keys
+
+    rebuilt, verdict, bad_json, bad_field, no_keys = run(scenario())
+    assert rebuilt == "R 2"
+    assert verdict == "V 2 1"  # the new generation answers the new key
+    assert bad_json.startswith("E ")
+    assert bad_field.startswith("E ") and "bogus" in bad_field
+    assert no_keys.startswith("E ")
+    assert service.generation == 2
+
+
+def test_http_post_rebuild(service):
+    """``POST /rebuild`` installs a new generation and returns it."""
+
+    async def scenario():
+        async with AsyncMembershipServer(service, max_wait_ms=1.0) as server:
+            host, port = await server.start_http()
+
+            def post(spec_text):
+                body = spec_text.encode()
+                return _http_request(
+                    host, port,
+                    b"POST /rebuild HTTP/1.1\r\nHost: t\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode() + body,
+                )
+
+            ok = await post(json.dumps({
+                "keys": POSITIVES + ["http-rebuilt.example"],
+                "negatives": NEGATIVES,
+                "incremental": True,
+            }))
+            member = await _http_request(
+                host, port,
+                b"GET /query?key=http-rebuilt.example HTTP/1.1\r\nHost: t\r\n\r\n",
+            )
+            not_dict = await post(json.dumps(["keys"]))
+            unknown = await post(json.dumps({"keys": ["k"], "extra": True}))
+            bad_costs = await post(json.dumps({"keys": ["k"], "costs": {"k": "x"}}))
+            return ok, member, not_dict, unknown, bad_costs
+
+    ok, member, not_dict, unknown, bad_costs = run(scenario())
+    assert ok == (200, {"generation": 2, "num_keys": len(POSITIVES) + 1})
+    assert member[0] == 200 and member[1]["member"] is True
+    assert member[1]["generation"] == 2
+    for status, body in (not_dict, unknown, bad_costs):
+        assert status == 400 and "error" in body
+    assert service.generation == 2
+
+
+def test_http_rebuild_rejects_oversized_spec(service):
+    """/rebuild enforces its own body cap with a clean 413."""
+
+    async def scenario():
+        async with AsyncMembershipServer(service, max_wait_ms=1.0) as server:
+            host, port = await server.start_http()
+            oversized = b"[" + b"x" * (9 << 20)
+            raw = (
+                b"POST /rebuild HTTP/1.1\r\nHost: t\r\n"
+                + f"Content-Length: {len(oversized)}\r\n\r\n".encode()
+                + oversized
+            )
+            return await _http_error_exchange(host, port, raw)
+
+    status_line, headers, closed = run(scenario())
+    assert " 413 " in status_line + " "
+    assert closed
+
+
+def test_rebuild_spec_caps_total_keys(service):
+    """The key-count cap rejects specs before any build work happens.
+
+    The spec stays under the 8 MiB body cap on purpose — this exercises the
+    key-count limit, not the byte limit.
+    """
+
+    async def scenario():
+        async with AsyncMembershipServer(service, max_wait_ms=1.0) as server:
+            host, port = await server.start_http()
+            body = json.dumps({"keys": ["k"] * 1_000_001}).encode()
+            assert len(body) < 8 << 20
+            return await _http_request(
+                host, port,
+                b"POST /rebuild HTTP/1.1\r\nHost: t\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode() + body,
+            )
+
+    status, payload = run(scenario())
+    assert status == 400 and "key" in payload["error"].lower()
+    assert service.generation == 1
